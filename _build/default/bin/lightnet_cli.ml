@@ -1,0 +1,190 @@
+(* Command-line interface: generate a network, run one of the paper's
+   constructions, print a quality report and the round ledger.
+
+     lightnet spanner  --n 200 --model er --k 2 --epsilon 0.25
+     lightnet slt      --n 150 --model clustered --root 0 --epsilon 0.5
+     lightnet net      --n 100 --radius 50 --delta 0.5
+     lightnet doubling --n 100 --model geo --epsilon 0.4
+     lightnet estimate --n 120 --alpha 2.0 *)
+
+open Lightnet
+
+let make_graph ?input ~model ~n ~seed () =
+  match input with
+  | Some path -> Graph_io.load_graph path
+  | None ->
+  let rng = Random.State.make [| seed; 0xc11 |] in
+  match model with
+  | "er" -> Gen.erdos_renyi rng ~n ~p:(8.0 /. float_of_int n) ()
+  | "dense" -> Gen.erdos_renyi rng ~n ~p:0.3 ()
+  | "geo" -> fst (Gen.random_geometric rng ~n ~radius:(2.0 /. Float.sqrt (float_of_int n)) ())
+  | "grid" ->
+    let side = int_of_float (Float.sqrt (float_of_int n)) in
+    Gen.grid rng ~rows:side ~cols:side ()
+  | "path" -> Gen.path n
+  | "clustered" -> Gen.clustered rng ~clusters:(max 2 (n / 25)) ~size:25 ~p_in:0.3 ~p_out:0.02 ()
+  | "heavy" -> Gen.heavy_tailed rng ~n ~p:(8.0 /. float_of_int n) ()
+  | m -> Fmt.failwith "unknown model %S (er|dense|geo|grid|path|clustered|heavy)" m
+
+let report_common g =
+  Format.printf "network: %a, hop-diameter %d, MST weight %.1f@." Graph.pp g
+    (Graph.hop_diameter g) (Mst_seq.weight g)
+
+open Cmdliner
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "input" ] ~docv:"FILE" ~doc:"Read the graph from a DIMACS-like file instead of generating one.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output" ] ~docv:"FILE" ~doc:"Write the resulting edge set (edge ids) to FILE.")
+
+let n_arg =
+  Arg.(value & opt int 150 & info [ "n" ] ~docv:"N" ~doc:"Number of vertices.")
+
+let model_arg =
+  Arg.(
+    value & opt string "er"
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:"Graph model: er, dense, geo, grid, path, clustered, heavy.")
+
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
+
+let ledger_arg =
+  Arg.(value & flag & info [ "ledger" ] ~doc:"Print the per-phase round ledger.")
+
+let spanner_cmd =
+  let run n model seed k epsilon ledger input output =
+    let g = make_graph ?input ~model ~n ~seed () in
+    report_common g;
+    let sp, q = Quick.light_spanner ~seed ~epsilon g ~k in
+    Format.printf "light spanner: %a@." Quick.pp_quality q;
+    Format.printf "  promised: stretch <= %.2f@." sp.Light_spanner.stretch_bound;
+    Format.printf "  buckets: %d in case 1, %d in case 2; E' edges %d@."
+      sp.Light_spanner.buckets_case1 sp.Light_spanner.buckets_case2
+      sp.Light_spanner.light_bucket_edges;
+    (match output with
+    | Some path ->
+      Graph_io.save_edge_set path sp.Light_spanner.edges;
+      Format.printf "edge set written to %s@." path
+    | None -> ());
+    if ledger then Format.printf "%a@." Ledger.pp sp.Light_spanner.ledger
+  in
+  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Stretch parameter k.") in
+  let eps_arg = Arg.(value & opt float 0.25 & info [ "epsilon" ] ~doc:"Epsilon.") in
+  Cmd.v
+    (Cmd.info "spanner" ~doc:"Build the Section-5 light spanner (Table 1 row 1).")
+    Term.(
+      const run $ n_arg $ model_arg $ seed_arg $ k_arg $ eps_arg $ ledger_arg
+      $ input_arg $ output_arg)
+
+let slt_cmd =
+  let run n model seed root epsilon gamma ledger =
+    let g = make_graph ~model ~n ~seed () in
+    report_common g;
+    let rng = Random.State.make [| seed; 0x51 |] in
+    let t =
+      match gamma with
+      | Some gamma -> Slt.build_light ~rng g ~rt:root ~gamma
+      | None -> Slt.build ~rng g ~rt:root ~epsilon
+    in
+    Format.printf "SLT: stretch %.3f (promised %.1f), lightness %.3f (promised %.2f)@."
+      (Stats.tree_root_stretch g t.Slt.tree ~root)
+      t.Slt.stretch_bound
+      (Stats.lightness g t.Slt.edges)
+      t.Slt.lightness_bound;
+    if ledger then Format.printf "%a@." Ledger.pp t.Slt.ledger
+  in
+  let root_arg = Arg.(value & opt int 0 & info [ "root" ] ~doc:"Root vertex.") in
+  let eps_arg = Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"Epsilon.") in
+  let gamma_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gamma" ] ~doc:"Use the lightness-1+gamma regime (BFN16).")
+  in
+  Cmd.v
+    (Cmd.info "slt" ~doc:"Build the Section-4 shallow-light tree (Table 1 row 2).")
+    Term.(
+      const run $ n_arg $ model_arg $ seed_arg $ root_arg $ eps_arg $ gamma_arg
+      $ ledger_arg)
+
+let net_cmd =
+  let run n model seed radius delta ledger =
+    let g = make_graph ~model ~n ~seed () in
+    report_common g;
+    let net = Quick.net ~seed ~delta g ~radius in
+    Format.printf
+      "net: %d points in %d iterations; covering <= %.2f, separation > %.2f@."
+      (List.length net.Net.points) net.Net.iterations net.Net.covering_bound
+      net.Net.separation_bound;
+    Format.printf "properties verified: %b@."
+      (Net.is_net g ~covering:net.Net.covering_bound
+         ~separation:net.Net.separation_bound net.Net.points);
+    let greedy = Greedy_net.build g ~radius in
+    Format.printf "greedy baseline: %d points@." (List.length greedy);
+    if ledger then Format.printf "%a@." Ledger.pp net.Net.ledger
+  in
+  let radius_arg = Arg.(value & opt float 50.0 & info [ "radius" ] ~doc:"Delta.") in
+  let delta_arg = Arg.(value & opt float 0.5 & info [ "delta" ] ~doc:"Slack delta.") in
+  Cmd.v
+    (Cmd.info "net" ~doc:"Build a Section-6 (alpha,beta)-net (Table 1 row 3).")
+    Term.(const run $ n_arg $ model_arg $ seed_arg $ radius_arg $ delta_arg $ ledger_arg)
+
+let doubling_cmd =
+  let run n model seed epsilon ledger =
+    let g = make_graph ~model ~n ~seed () in
+    report_common g;
+    let sp, q = Quick.doubling_spanner ~seed ~epsilon g in
+    Format.printf "doubling spanner: %a (%d scales, max table %d)@." Quick.pp_quality q
+      sp.Doubling_spanner.scales sp.Doubling_spanner.max_table;
+    if ledger then Format.printf "%a@." Ledger.pp sp.Doubling_spanner.ledger
+  in
+  let eps_arg = Arg.(value & opt float 0.4 & info [ "epsilon" ] ~doc:"Epsilon.") in
+  Cmd.v
+    (Cmd.info "doubling"
+       ~doc:"Build the Section-7 doubling-graph spanner (Table 1 row 4).")
+    Term.(const run $ n_arg $ model_arg $ seed_arg $ eps_arg $ ledger_arg)
+
+let estimate_cmd =
+  let run n model seed alpha =
+    let g = make_graph ~model ~n ~seed () in
+    report_common g;
+    let rng = Random.State.make [| seed; 0xe5 |] in
+    let bfs, _ = Bfs.tree g ~root:0 in
+    let est = Mst_weight.estimate ~rng g ~bfs ~alpha in
+    let l = Mst_seq.weight g in
+    Format.printf "Psi = %.1f; Psi/L = %.2f (guaranteed in [1, %.1f]); %d levels@."
+      est.Mst_weight.psi (est.Mst_weight.psi /. l) est.Mst_weight.upper_factor
+      (List.length est.Mst_weight.levels)
+  in
+  let alpha_arg = Arg.(value & opt float 2.0 & info [ "alpha" ] ~doc:"Alpha.") in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Section-8 net-based MST weight estimation.")
+    Term.(const run $ n_arg $ model_arg $ seed_arg $ alpha_arg)
+
+let gen_cmd =
+  let run n model seed output =
+    let g = make_graph ~model ~n ~seed () in
+    report_common g;
+    Graph_io.save_graph output g;
+    Format.printf "graph written to %s@." output
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "output" ] ~docv:"FILE" ~doc:"Destination file.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a graph and write it to a file.")
+    Term.(const run $ n_arg $ model_arg $ seed_arg $ out_arg)
+
+let () =
+  let doc = "Distributed construction of light networks (PODC 2020), simulated." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "lightnet" ~doc)
+          [ spanner_cmd; slt_cmd; net_cmd; doubling_cmd; estimate_cmd; gen_cmd ]))

@@ -1,0 +1,1 @@
+examples/broadcast_network.ml: Array Float Format Fun Gen Graph Lightnet List Mst_seq Paths Random Slt Stats Tree

@@ -1,0 +1,1 @@
+examples/net_hierarchy.ml: Bfs Format Gen Graph Greedy_net Ledger Lightnet List Mst_seq Mst_weight Net Random String

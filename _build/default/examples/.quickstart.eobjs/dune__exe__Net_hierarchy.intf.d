@@ -1,0 +1,1 @@
+examples/net_hierarchy.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Gen Graph Greedy Kry95 Lightnet List Mst_seq Net Quick Random Stats

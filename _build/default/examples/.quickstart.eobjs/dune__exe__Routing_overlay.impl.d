@@ -1,0 +1,1 @@
+examples/routing_overlay.ml: Array Format Fun Gen Graph Greedy Light_spanner Lightnet List Mst_seq Paths Quick Random Stats

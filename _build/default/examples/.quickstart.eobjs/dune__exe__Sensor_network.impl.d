@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Array Doubling_spanner Format Gen Graph Greedy Lightnet List Metric Paths Quick Random Stats

@@ -1,0 +1,60 @@
+(* The paper's motivating application (ABP90/ABP92): cost-sensitive
+   broadcast. A root repeatedly broadcasts messages to the whole
+   network over a fixed spanning tree. Broadcasting over the MST
+   minimises the energy (total edge weight) but can have terrible
+   delay (root-to-leaf distance); over the SPT it is the opposite. The
+   SLT of Section 4 gets within (1+eps) of the SPT's delay at 1+O(1/eps)
+   times the MST's energy, and the BFN16 regime gets within 1+gamma of
+   the MST's energy.
+
+   Run with:  dune exec examples/broadcast_network.exe *)
+
+open Lightnet
+
+let describe g ~rt name edges =
+  let tree = Tree.of_edges g ~root:rt edges in
+  let energy = Graph.weight_of_edges g edges in
+  let delay =
+    (* worst-case time until the last vertex hears the message *)
+    List.fold_left
+      (fun acc v -> Float.max acc (Tree.dist_to_root tree v))
+      0.0
+      (List.init (Graph.n g) Fun.id)
+  in
+  let stretch = Stats.tree_root_stretch g tree ~root:rt in
+  Format.printf "  %-24s energy %8.1f   worst delay %8.1f   root-stretch %6.3f@."
+    name energy delay stretch
+
+let () =
+  let rng = Random.State.make [| 7 |] in
+  (* A clustered network: dense cheap LANs joined by expensive WAN
+     links — the regime where MST and SPT broadcast differ sharply. *)
+  let g = Gen.clustered rng ~clusters:6 ~size:20 ~p_in:0.3 ~p_out:0.02 () in
+  let rt = 0 in
+  Format.printf "broadcast network: %a, root %d@.@." Graph.pp g rt;
+
+  let mst = Mst_seq.kruskal g in
+  describe g ~rt "MST" mst;
+
+  let spt = Paths.dijkstra g rt in
+  let spt_edges =
+    Array.to_list spt.Paths.parent_edge |> List.filter (fun e -> e >= 0)
+  in
+  describe g ~rt "SPT" spt_edges;
+
+  Format.printf "@.shallow-light trees (Section 4):@.";
+  List.iter
+    (fun epsilon ->
+      let slt = Slt.build ~rng g ~rt ~epsilon in
+      describe g ~rt (Format.asprintf "SLT eps=%.2f" epsilon) slt.Slt.edges)
+    [ 1.0; 0.5; 0.25 ];
+
+  Format.printf "@.lightness-first regime (BFN16 reduction):@.";
+  List.iter
+    (fun gamma ->
+      let slt = Slt.build_light ~rng g ~rt ~gamma in
+      describe g ~rt (Format.asprintf "SLT gamma=%.2f" gamma) slt.Slt.edges)
+    [ 0.5; 0.25 ];
+
+  Format.printf
+    "@.The SLT rows should interpolate: energy close to the MST's,@.delay close to the SPT's — that is Theorem 1.@."

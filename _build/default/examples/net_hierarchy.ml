@@ -1,0 +1,44 @@
+(* Hierarchical nets and the Section-8 MST-weight estimator.
+
+   Builds (alpha*2^i, 2^i)-nets at every scale, shows how they thin
+   out, and turns their cardinalities into the estimate Psi with
+   L <= Psi <= O(alpha log n) * L — the reduction behind the paper's
+   lower bound, run forward.
+
+   Run with:  dune exec examples/net_hierarchy.exe *)
+
+open Lightnet
+
+let () =
+  let rng = Random.State.make [| 4242 |] in
+  let g = Gen.heavy_tailed rng ~n:150 ~p:0.06 ~range:1e4 () in
+  let bfs, _ = Bfs.tree g ~root:0 in
+  Format.printf "network: %a@." Graph.pp g;
+  let l = Mst_seq.weight g in
+  Format.printf "true MST weight L = %.1f@.@." l;
+
+  let alpha = 2.0 in
+  let est = Mst_weight.estimate ~rng g ~bfs ~alpha in
+  Format.printf "net hierarchy (alpha = %.1f):@." alpha;
+  List.iter
+    (fun (scale, ni) ->
+      let bar = String.make (min 60 ni) '#' in
+      Format.printf "  scale %10.1f : %4d net points %s@." scale ni bar)
+    est.Mst_weight.levels;
+  Format.printf "@.Psi = %.1f   Psi/L = %.2f  (guaranteed within [1, %.1f])@."
+    est.Mst_weight.psi (est.Mst_weight.psi /. l) est.Mst_weight.upper_factor;
+
+  (* Compare a mid-scale distributed net with the greedy baseline. *)
+  let radius =
+    match est.Mst_weight.levels with
+    | _ :: _ ->
+      let scales = List.map fst est.Mst_weight.levels in
+      List.nth scales (List.length scales / 2)
+    | [] -> 1.0
+  in
+  let net = Net.build ~rng g ~bfs ~radius ~delta:0.5 in
+  let greedy = Greedy_net.build g ~radius in
+  Format.printf
+    "@.at radius %.1f: distributed net %d points (%d iterations), greedy net %d points@."
+    radius (List.length net.Net.points) net.Net.iterations (List.length greedy);
+  Format.printf "round ledger of the distributed net:@.%a@." Ledger.pp net.Net.ledger

@@ -1,0 +1,37 @@
+(* Quickstart: build each of the paper's four objects on one random
+   network and print their quality numbers.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Lightnet
+
+let () =
+  let rng = Random.State.make [| 2020 |] in
+  (* A 150-vertex random weighted network. *)
+  let g = Gen.erdos_renyi rng ~n:150 ~p:0.08 () in
+  Format.printf "network: %a, hop-diameter %d@." Graph.pp g (Graph.hop_diameter g);
+  Format.printf "MST weight: %.1f@.@." (Mst_seq.weight g);
+
+  (* Table 1 row 1: a light (2k-1)(1+eps)-spanner. *)
+  let k = 2 in
+  let _, q = Quick.light_spanner g ~k ~epsilon:0.25 in
+  Format.printf "light spanner (k=%d):   %a@." k Quick.pp_quality q;
+
+  (* Table 1 row 2: a shallow-light tree rooted at vertex 0. *)
+  let _, q = Quick.slt g ~rt:0 ~epsilon:0.5 in
+  Format.printf "SLT (eps=0.5):         %a@." Quick.pp_quality q;
+
+  (* Table 1 row 3: an (alpha, beta)-net at radius 100. *)
+  let net = Quick.net g ~radius:100.0 ~delta:0.5 in
+  Format.printf "net (radius 100):      %d points, covering<=%.0f separation>%.0f (%d iterations)@."
+    (List.length net.Net.points) net.Net.covering_bound net.Net.separation_bound
+    net.Net.iterations;
+
+  (* Sequential baselines for comparison. *)
+  let greedy = Greedy.build g ~stretch:3.0 in
+  Format.printf "@.greedy 3-spanner (sequential baseline): %d edges, lightness %.2f@."
+    (List.length greedy) (Stats.lightness g greedy);
+  let kry = Kry95.build g ~rt:0 ~epsilon:0.5 in
+  Format.printf "KRY95 SLT (sequential baseline): lightness %.2f, root-stretch %.3f@."
+    (Stats.lightness g kry.Kry95.edges)
+    (Stats.tree_root_stretch g kry.Kry95.tree ~root:0)

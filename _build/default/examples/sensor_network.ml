@@ -1,0 +1,67 @@
+(* A sensor network (random geometric graph — constant doubling
+   dimension) and the Section-7 spanner: keep a (1+eps)-approximation
+   of all distances while storing a near-linear number of links whose
+   total length is within polylog of the MST.
+
+   As a downstream application we run a nearest-neighbour TSP tour
+   (the Klein/Gottlieb motivation for light spanners: a light subgraph
+   supports approximation schemes) on the spanner metric and compare
+   it with the tour on the full graph metric.
+
+   Run with:  dune exec examples/sensor_network.exe *)
+
+open Lightnet
+
+let tour_weight g ~edge_ok =
+  (* Nearest-neighbour heuristic over the (sub)graph metric. *)
+  let n = Graph.n g in
+  let visited = Array.make n false in
+  let cur = ref 0 in
+  visited.(0) <- true;
+  let total = ref 0.0 in
+  for _ = 2 to n do
+    let sp = Paths.dijkstra ~edge_ok g !cur in
+    let best = ref (-1) and bestd = ref infinity in
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && sp.Paths.dist.(v) < !bestd then begin
+        best := v;
+        bestd := sp.Paths.dist.(v)
+      end
+    done;
+    total := !total +. !bestd;
+    visited.(!best) <- true;
+    cur := !best
+  done;
+  !total
+
+let () =
+  let rng = Random.State.make [| 99 |] in
+  let g, _points = Gen.random_geometric rng ~n:120 ~radius:0.22 () in
+  Format.printf "sensor network: %a, hop-diameter %d@." Graph.pp g
+    (Graph.hop_diameter g);
+  Format.printf "estimated doubling dimension: %.2f@.@."
+    (Metric.estimate_ddim rng g);
+
+  List.iter
+    (fun epsilon ->
+      let sp, q = Quick.doubling_spanner ~epsilon g in
+      Format.printf "doubling spanner eps=%.2f: %a (%d scales)@." epsilon
+        Quick.pp_quality q sp.Doubling_spanner.scales)
+    [ 0.5; 0.3 ];
+
+  (* Baseline: the greedy (1+eps)-spanner on the same graph. *)
+  let greedy = Greedy.build g ~stretch:1.3 in
+  Format.printf "greedy 1.3-spanner (sequential): %d edges, lightness %.2f@."
+    (List.length greedy) (Stats.lightness g greedy);
+
+  (* TSP-style application. *)
+  let full = tour_weight g ~edge_ok:(fun _ -> true) in
+  let sp, _ = Quick.doubling_spanner ~epsilon:0.3 g in
+  let mask = Array.make (Graph.m g) false in
+  List.iter (fun e -> mask.(e) <- true) sp.Doubling_spanner.edges;
+  let on_spanner = tour_weight g ~edge_ok:(fun e -> mask.(e)) in
+  Format.printf
+    "@.nearest-neighbour tour:  full graph %.2f   spanner %.2f   ratio %.3f@."
+    full on_spanner (on_spanner /. full);
+  Format.printf
+    "(the ratio stays within 1+O(eps): the spanner preserves the metric)@."

@@ -1,0 +1,1 @@
+lib/aspt/bellman_ford.ml: Array Hashtbl List Ln_congest Ln_graph Queue

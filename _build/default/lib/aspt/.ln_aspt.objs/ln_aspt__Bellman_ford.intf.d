@@ -1,0 +1,1 @@
+lib/aspt/bellman_ford.mli: Hashtbl Ln_congest Ln_graph

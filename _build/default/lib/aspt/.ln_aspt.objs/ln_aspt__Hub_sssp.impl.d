@@ -1,0 +1,1 @@
+lib/aspt/hub_sssp.ml: Array Bellman_ford Float Hashtbl List Ln_congest Ln_graph Ln_prim Queue Random

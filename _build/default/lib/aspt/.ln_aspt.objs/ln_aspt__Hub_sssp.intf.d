@@ -1,0 +1,1 @@
+lib/aspt/hub_sssp.mli: Ln_congest Ln_graph Random

@@ -1,0 +1,128 @@
+module Graph = Ln_graph.Graph
+module Engine = Ln_congest.Engine
+
+type result = { dist : float array; parent_edge : int array }
+
+type ss_state = { d : float; parent : int; pending : bool }
+
+let sssp ?(edge_ok = fun _ -> true) ?init g ~src =
+  let open Engine in
+  let allowed ctx = Array.to_list ctx.neighbors |> List.filter (fun (e, _) -> edge_ok e) in
+  let init_of v =
+    match init with
+    | Some a -> a.(v)
+    | None -> if v = src then 0.0 else infinity
+  in
+  let program : (ss_state, float) Engine.program =
+    {
+      name = "bellman-ford-sssp";
+      words = (fun _ -> 2);
+      init =
+        (fun ctx ->
+          let d = init_of ctx.me in
+          let s = { d; parent = -1; pending = d < infinity } in
+          (s, []));
+      step =
+        (fun ctx ~round:_ s inbox ->
+          let s =
+            List.fold_left
+              (fun s (r : float received) ->
+                if edge_ok r.edge then begin
+                  let cand = r.payload +. ctx.weight r.edge in
+                  if cand < s.d then { d = cand; parent = r.edge; pending = true } else s
+                end
+                else s)
+              s inbox
+          in
+          if s.pending then
+            ( { s with pending = false },
+              List.map (fun (e, _) -> { via = e; msg = s.d }) (allowed ctx),
+              false )
+          else (s, [], false));
+    }
+  in
+  let states, stats = Engine.run g program in
+  ( {
+      dist = Array.map (fun s -> s.d) states;
+      parent_edge = Array.map (fun s -> s.parent) states;
+    },
+    stats )
+
+type tables = (int, float * int) Hashtbl.t array
+
+type ms_state = {
+  table : (int, float * int) Hashtbl.t;
+  queued : (int, unit) Hashtbl.t;
+  queue : int Queue.t;
+}
+
+let multi_source ?(edge_ok = fun _ -> true) ?(bound = infinity) g ~srcs =
+  let open Engine in
+  let is_src = Hashtbl.create (List.length srcs) in
+  List.iter (fun s -> Hashtbl.replace is_src s ()) srcs;
+  let allowed ctx = Array.to_list ctx.neighbors |> List.filter (fun (e, _) -> edge_ok e) in
+  let enqueue s src =
+    if not (Hashtbl.mem s.queued src) then begin
+      Hashtbl.replace s.queued src ();
+      Queue.push src s.queue
+    end
+  in
+  let emit ctx s =
+    if Queue.is_empty s.queue then (s, [], false)
+    else begin
+      let src = Queue.pop s.queue in
+      Hashtbl.remove s.queued src;
+      match Hashtbl.find_opt s.table src with
+      | None -> (s, [], not (Queue.is_empty s.queue))
+      | Some (d, _) ->
+        ( s,
+          List.map (fun (e, _) -> { via = e; msg = (src, d) }) (allowed ctx),
+          not (Queue.is_empty s.queue) )
+    end
+  in
+  let program : (ms_state, int * float) Engine.program =
+    {
+      name = "bellman-ford-multi";
+      words = (fun _ -> 3);
+      init =
+        (fun ctx ->
+          let s =
+            { table = Hashtbl.create 8; queued = Hashtbl.create 8; queue = Queue.create () }
+          in
+          if Hashtbl.mem is_src ctx.me then begin
+            Hashtbl.replace s.table ctx.me (0.0, -1);
+            enqueue s ctx.me
+          end;
+          (s, []));
+      step =
+        (fun ctx ~round:_ s inbox ->
+          List.iter
+            (fun (r : (int * float) received) ->
+              if edge_ok r.edge then begin
+                let src, d0 = r.payload in
+                let cand = d0 +. ctx.weight r.edge in
+                if cand <= bound then begin
+                  match Hashtbl.find_opt s.table src with
+                  | Some (d, _) when d <= cand -> ()
+                  | _ ->
+                    Hashtbl.replace s.table src (cand, r.edge);
+                    enqueue s src
+                end
+              end)
+            inbox;
+          emit ctx s);
+    }
+  in
+  let states, stats = Engine.run g program in
+  (Array.map (fun s -> s.table) states, stats)
+
+let path_to_source g tables v ~src =
+  let rec walk v acc =
+    if v = src then Some (List.rev (v :: acc))
+    else begin
+      match Hashtbl.find_opt tables.(v) src with
+      | None | Some (_, -1) -> None
+      | Some (_, e) -> walk (Graph.other_end g e v) (v :: acc)
+    end
+  in
+  walk v []

@@ -1,0 +1,51 @@
+(** Distributed Bellman–Ford in the CONGEST model.
+
+    [sssp] is the exact single-source baseline: every improvement is
+    re-flooded; at quiescence every vertex holds its exact distance and
+    a consistent parent pointer (rounds ≈ the graph's hop radius times
+    the improvement-chain length — the quantity the paper's Õ(√n + D)
+    algorithms beat, which is why it is the baseline).
+
+    [multi_source] runs Bellman–Ford from a set of sources with a
+    distance bound: every vertex ends with a table holding, for every
+    source within distance [bound] of it, the *exact* distance and the
+    first edge of a realizing path. Tables are pruned at [bound], so —
+    exactly as in Section 7's packing argument — the per-vertex work is
+    proportional to the number of sources whose balls reach it; each
+    vertex forwards one (source, distance) update per round per edge.
+    This is the stand-in for the [EN16] hopset-based Δ-bounded
+    multi-source exploration (path-reporting included: parent edges).
+
+    Both accept [edge_ok] to restrict to a subgraph (e.g. the graph H
+    of Section 4). *)
+
+type result = { dist : float array; parent_edge : int array }
+
+(** Exact single-source shortest paths.
+    @param init optional initial upper-bound estimates (must be
+    realizable path lengths, [infinity] elsewhere); used by the hub
+    scheme's repair phase. Default: 0 at [src], [infinity] elsewhere. *)
+val sssp :
+  ?edge_ok:(int -> bool) ->
+  ?init:float array ->
+  Ln_graph.Graph.t ->
+  src:int ->
+  result * Ln_congest.Engine.stats
+
+(** Per-vertex table: source vertex -> (distance, parent edge toward
+    the source; -1 at the source itself). *)
+type tables = (int, float * int) Hashtbl.t array
+
+(** Exact [bound]-limited multi-source shortest paths. *)
+val multi_source :
+  ?edge_ok:(int -> bool) ->
+  ?bound:float ->
+  Ln_graph.Graph.t ->
+  srcs:int list ->
+  tables * Ln_congest.Engine.stats
+
+(** [path_to_source g tables v ~src] walks parent edges from [v] to
+    [src]; [None] if [src] is not in [v]'s table. The returned list is
+    the vertex path [v; ...; src]. *)
+val path_to_source :
+  Ln_graph.Graph.t -> tables -> int -> src:int -> int list option

@@ -1,0 +1,1 @@
+lib/congest/engine.ml: Array Format Hashtbl List Ln_graph

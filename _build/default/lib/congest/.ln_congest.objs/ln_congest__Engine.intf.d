@@ -1,0 +1,1 @@
+lib/congest/engine.mli: Format Ln_graph

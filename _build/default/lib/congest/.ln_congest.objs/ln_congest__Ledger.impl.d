@@ -1,0 +1,1 @@
+lib/congest/ledger.ml: Format List

@@ -1,0 +1,1 @@
+lib/congest/trace.ml: Engine Format Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/congest/trace.mli: Engine Format

@@ -1,0 +1,120 @@
+module Graph = Ln_graph.Graph
+
+exception Congest_violation of string
+
+type ctx = {
+  n : int;
+  me : int;
+  neighbors : (int * int) array;
+  weight : int -> float;
+}
+
+type 'm received = { from : int; edge : int; payload : 'm }
+type 'm send = { via : int; msg : 'm }
+
+type ('s, 'm) program = {
+  name : string;
+  words : 'm -> int;
+  init : ctx -> 's * 'm send list;
+  step : ctx -> round:int -> 's -> 'm received list -> 's * 'm send list * bool;
+}
+
+type observer = round:int -> from:int -> dest:int -> words:int -> unit
+
+type stats = {
+  rounds : int;
+  messages : int;
+  total_words : int;
+  max_edge_load : int;
+}
+
+let violation fmt = Format.kasprintf (fun s -> raise (Congest_violation s)) fmt
+
+let run ?(word_cap = 4) ?(max_rounds = 10_000_000) ?observer g p =
+  let n = Graph.n g in
+  let ctx_of v =
+    { n; me = v; neighbors = Graph.neighbors g v; weight = Graph.weight g }
+  in
+  let ctxs = Array.init n ctx_of in
+  let active = Array.make n true in
+  (* Messages in flight, to be delivered at the start of the next
+     round: per destination vertex. *)
+  let inbox : 'm received list array = Array.make n [] in
+  let next_inbox : 'm received list array = Array.make n [] in
+  let messages = ref 0 in
+  let total_words = ref 0 in
+  let max_edge_load = ref 0 in
+  let in_flight = ref 0 in
+  (* Tracks, per round, words sent per (edge, direction) for cap
+     enforcement. Key: edge * 2 + dir. *)
+  let sent_this_round = Hashtbl.create 64 in
+  let current_round = ref 0 in
+  let deliver ~sender outs =
+    List.iter
+      (fun { via; msg } ->
+        let u, v = Graph.endpoints g via in
+        let dest =
+          if u = sender then v
+          else if v = sender then u
+          else violation "%s: node %d sent over non-incident edge %d" p.name sender via
+        in
+        let w = p.words msg in
+        if w > word_cap then
+          violation "%s: node %d sent %d-word message (cap %d)" p.name sender w word_cap;
+        let key = (via * 2) + if sender < dest then 0 else 1 in
+        (match Hashtbl.find_opt sent_this_round key with
+        | Some _ ->
+          violation "%s: node %d sent twice over edge %d in one round" p.name sender via
+        | None -> Hashtbl.replace sent_this_round key w);
+        if w > !max_edge_load then max_edge_load := w;
+        (match observer with
+        | Some f -> f ~round:!current_round ~from:sender ~dest ~words:w
+        | None -> ());
+        incr messages;
+        total_words := !total_words + w;
+        incr in_flight;
+        next_inbox.(dest) <- { from = sender; edge = via; payload = msg } :: next_inbox.(dest))
+      outs
+  in
+  (* Round 0: init. *)
+  Hashtbl.reset sent_this_round;
+  let inits = Array.init n (fun v -> p.init ctxs.(v)) in
+  let states = Array.map fst inits in
+  Array.iteri (fun v (_, outs) -> deliver ~sender:v outs) inits;
+  let rounds = ref 0 in
+  let continue = ref (!in_flight > 0 || Array.exists (fun b -> b) active) in
+  while !continue && !rounds < max_rounds do
+    incr rounds;
+    current_round := !rounds;
+    (* Flip message buffers. *)
+    for v = 0 to n - 1 do
+      inbox.(v) <- next_inbox.(v);
+      next_inbox.(v) <- []
+    done;
+    in_flight := 0;
+    Hashtbl.reset sent_this_round;
+    let any_active = ref false in
+    for v = 0 to n - 1 do
+      let msgs = inbox.(v) in
+      if active.(v) || msgs <> [] then begin
+        let s, outs, still = p.step ctxs.(v) ~round:!rounds states.(v) msgs in
+        states.(v) <- s;
+        active.(v) <- still;
+        if still then any_active := true;
+        deliver ~sender:v outs
+      end;
+      inbox.(v) <- []
+    done;
+    continue := !in_flight > 0 || !any_active
+  done;
+  ( states,
+    {
+      rounds = !rounds;
+      messages = !messages;
+      total_words = !total_words;
+      max_edge_load = !max_edge_load;
+    } )
+
+let pp_stats ppf s =
+  Format.fprintf ppf "rounds=%d msgs=%d words=%d max_edge_load=%d" s.rounds s.messages
+    s.total_words s.max_edge_load

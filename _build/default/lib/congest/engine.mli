@@ -1,0 +1,79 @@
+(** Synchronous CONGEST-model simulator.
+
+    A network is a weighted graph in which every vertex hosts a
+    processor. Computation proceeds in synchronous rounds; in each
+    round a vertex may send one message of at most [word_cap] machine
+    words (a word models O(log n) bits) over each incident edge, and
+    receives in the next round everything sent to it. The engine
+    *enforces* the model: a program that sends two messages over one
+    edge in a round, or an oversized message, crashes with
+    [Congest_violation] — so passing the test-suite certifies model
+    compliance.
+
+    Programs are written as per-node state machines over a restricted
+    local view ({!ctx}): a node knows [n], its own id, its incident
+    edges and their weights, and nothing else. *)
+
+exception Congest_violation of string
+
+(** Local view available to a node's program. [neighbors] is the array
+    of [(edge_id, neighbor)] pairs for this node. *)
+type ctx = {
+  n : int;  (** number of vertices in the network *)
+  me : int;  (** this node's id *)
+  neighbors : (int * int) array;
+  weight : int -> float;  (** weight of an incident edge *)
+}
+
+(** A message received on [edge] from neighbour [from]. *)
+type 'm received = { from : int; edge : int; payload : 'm }
+
+(** A message to send over incident edge [via]. *)
+type 'm send = { via : int; msg : 'm }
+
+(** A per-node program.
+
+    [init ctx] gives the initial state and round-0 sends. [step] is
+    called on every round in which the node has incoming messages or
+    declared itself active; it returns the new state, outgoing
+    messages, and whether the node remains active (an inactive node is
+    not stepped again until a message arrives — state is kept).
+
+    [words m] is the size of message [m] in machine words, used for
+    model enforcement and traffic statistics. *)
+type ('s, 'm) program = {
+  name : string;
+  words : 'm -> int;
+  init : ctx -> 's * 'm send list;
+  step : ctx -> round:int -> 's -> 'm received list -> 's * 'm send list * bool;
+}
+
+(** Optional per-message observer, called at send time (delivery is
+    the following round). Used for debugging protocols and for traffic
+    analyses; see {!val:run}. *)
+type observer = round:int -> from:int -> dest:int -> words:int -> unit
+
+type stats = {
+  rounds : int;  (** rounds until quiescence (or the cap) *)
+  messages : int;  (** total messages delivered *)
+  total_words : int;  (** total message volume in words *)
+  max_edge_load : int;  (** max words on one edge-direction in a round *)
+}
+
+(** [run g p] executes [p] on network [g] until quiescence (no active
+    node and no message in flight) or [max_rounds].
+
+    @param word_cap maximum words per message (default 4 ≈ a constant
+           number of O(log n)-bit words, as in the paper).
+    @param observer called once per message sent.
+    @raise Congest_violation on a model violation.
+    @return final states (indexed by vertex) and statistics. *)
+val run :
+  ?word_cap:int ->
+  ?max_rounds:int ->
+  ?observer:observer ->
+  Ln_graph.Graph.t ->
+  ('s, 'm) program ->
+  's array * stats
+
+val pp_stats : Format.formatter -> stats -> unit

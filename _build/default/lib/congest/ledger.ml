@@ -1,0 +1,38 @@
+type kind = Native | Charged
+type entry = { label : string; kind : kind; rounds : int }
+type t = { mutable entries : entry list (* reverse order *) }
+
+let create () = { entries = [] }
+
+let add t kind label rounds =
+  if rounds < 0 then invalid_arg "Ledger: negative round count";
+  t.entries <- { label; kind; rounds } :: t.entries
+
+let native t ~label rounds = add t Native label rounds
+let charged t ~label rounds = add t Charged label rounds
+
+let merge t ~prefix other =
+  List.iter
+    (fun e -> t.entries <- { e with label = prefix ^ "/" ^ e.label } :: t.entries)
+    (List.rev other.entries)
+
+let entries t = List.rev t.entries
+
+let sum_kind t k =
+  List.fold_left
+    (fun acc e -> if e.kind = k then acc + e.rounds else acc)
+    0 t.entries
+
+let native_total t = sum_kind t Native
+let charged_total t = sum_kind t Charged
+let total t = native_total t + charged_total t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-40s %8d %s@," e.label e.rounds
+        (match e.kind with Native -> "native" | Charged -> "charged"))
+    (entries t);
+  Format.fprintf ppf "%-40s %8d@,%-40s %8d (of which charged %d)@]" "-- native total"
+    (native_total t) "-- grand total" (total t) (charged_total t)

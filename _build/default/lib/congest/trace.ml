@@ -1,0 +1,46 @@
+type t = {
+  per_round : (int, int * int) Hashtbl.t; (* round -> msgs, words *)
+  per_link : (int * int, int) Hashtbl.t; (* (from, dest) -> msgs *)
+  mutable messages : int;
+  mutable words : int;
+}
+
+let create () =
+  { per_round = Hashtbl.create 64; per_link = Hashtbl.create 64; messages = 0; words = 0 }
+
+let reset t =
+  Hashtbl.reset t.per_round;
+  Hashtbl.reset t.per_link;
+  t.messages <- 0;
+  t.words <- 0
+
+let observer t : Engine.observer =
+ fun ~round ~from ~dest ~words ->
+  t.messages <- t.messages + 1;
+  t.words <- t.words + words;
+  let m, w = Option.value ~default:(0, 0) (Hashtbl.find_opt t.per_round round) in
+  Hashtbl.replace t.per_round round (m + 1, w + words);
+  let l = Option.value ~default:0 (Hashtbl.find_opt t.per_link (from, dest)) in
+  Hashtbl.replace t.per_link (from, dest) (l + 1)
+
+let messages t = t.messages
+let words t = t.words
+let busy_rounds t = Hashtbl.length t.per_round
+let round_load t r = Option.value ~default:(0, 0) (Hashtbl.find_opt t.per_round r)
+
+let peak_round t =
+  Hashtbl.fold
+    (fun r (m, _) (br, bm) -> if m > bm then (r, m) else (br, bm))
+    t.per_round (0, 0)
+
+let link_load t =
+  Hashtbl.fold (fun link m acc -> (link, m) :: acc) t.per_link []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let peak_link t = match link_load t with (_, m) :: _ -> m | [] -> 0
+
+let pp ppf t =
+  let pr, pm = peak_round t in
+  Format.fprintf ppf
+    "trace: %d msgs, %d words over %d busy rounds; peak round %d (%d msgs); peak link %d msgs"
+    t.messages t.words (busy_rounds t) pr pm (peak_link t)

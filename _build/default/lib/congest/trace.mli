@@ -1,0 +1,49 @@
+(** Traffic traces for engine runs.
+
+    A [Trace.t] plugs into {!Engine.run}'s [observer] and aggregates the
+    message stream: messages and words per round, per-edge-direction
+    load, and the busiest rounds/links. Useful when tuning a protocol's
+    pipelining (e.g. checking that a Lemma-1 broadcast really keeps
+    every tree edge busy) or diagnosing congestion hot-spots.
+
+    {[
+      let trace = Trace.create () in
+      let _ = Engine.run ~observer:(Trace.observer trace) g program in
+      Format.printf "%a@." Trace.pp trace
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+(** The callback to pass to {!Engine.run}. One trace can observe
+    several consecutive runs; rounds then accumulate per run segment
+    (call {!reset} in between to separate them). *)
+val observer : t -> Engine.observer
+
+val reset : t -> unit
+
+(** Total messages observed. *)
+val messages : t -> int
+
+(** Total words observed. *)
+val words : t -> int
+
+(** Number of distinct rounds in which at least one message was sent. *)
+val busy_rounds : t -> int
+
+(** [round_load t r] is (messages, words) sent in round [r]. *)
+val round_load : t -> int -> int * int
+
+(** The round with the most messages, as [(round, messages)];
+    [(0, 0)] for an empty trace. *)
+val peak_round : t -> int * int
+
+(** [link_load t] lists ((from, dest), messages) pairs sorted by
+    decreasing load — the congestion profile. *)
+val link_load : t -> ((int * int) * int) list
+
+(** Messages on the single busiest directed link. *)
+val peak_link : t -> int
+
+val pp : Format.formatter -> t -> unit

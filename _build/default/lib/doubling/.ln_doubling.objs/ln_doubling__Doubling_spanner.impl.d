@@ -1,0 +1,1 @@
+lib/doubling/doubling_spanner.ml: Array Float Hashtbl Int List Ln_aspt Ln_congest Ln_graph Ln_nets Ln_prim Option

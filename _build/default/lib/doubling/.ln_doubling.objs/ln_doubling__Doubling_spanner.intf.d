@@ -1,0 +1,1 @@
+lib/doubling/doubling_spanner.mli: Ln_congest Ln_graph Random

@@ -1,0 +1,32 @@
+(** Light (1+ε)-spanners for doubling graphs — Section 7 (Theorem 5):
+    lightness ε^{-O(ddim)}·log n and n·ε^{-O(ddim)}·log n edges, in
+    (√n + D)·ε^{-Õ(√log n + ddim)} rounds.
+
+    For every distance scale Δ (powers of 1+ε between the minimum edge
+    weight and the MST weight L):
+    {ol
+    {- an (εΔ/2, εΔ/3)-net via Section 6 ({!Ln_nets.Net}, δ = 1/2);}
+    {- a 2Δ-bounded multi-source shortest-path exploration from the net
+       points ({!Ln_aspt.Bellman_ford.multi_source} — the [EN16]
+       path-reporting-hopset substitute), which leaves every vertex
+       knowing, per nearby net point, its distance and parent edge;}
+    {- native path reporting: each net point launches one token per
+       discovered net point; tokens walk the parent chains, and every
+       edge they cross joins the spanner. Congestion is bounded by the
+       doubling packing property — and measured, not assumed.}}
+
+    The per-vertex table sizes and token loads are reported so the
+    packing argument of Lemma 6 can be checked empirically (bench E4). *)
+
+type t = {
+  edges : int list;  (** spanner edges (MST not implicitly included) *)
+  epsilon : float;
+  stretch_bound : float;  (** 1 + c·ε promised stretch *)
+  scales : int;  (** number of distance scales processed *)
+  max_table : int;  (** max net points any vertex discovered at a scale *)
+  ledger : Ln_congest.Ledger.t;
+}
+
+(** [build ~rng g ~epsilon] — the full construction.
+    @raise Invalid_argument unless [0 < epsilon <= 0.5]. *)
+val build : rng:Random.State.t -> Ln_graph.Graph.t -> epsilon:float -> t

@@ -1,0 +1,1 @@
+lib/estimate/mst_weight.ml: Float List Ln_congest Ln_graph Ln_nets

@@ -1,0 +1,1 @@
+lib/estimate/mst_weight.mli: Ln_congest Ln_graph Random

@@ -1,0 +1,50 @@
+module Graph = Ln_graph.Graph
+module Ledger = Ln_congest.Ledger
+module Net = Ln_nets.Net
+
+type t = {
+  psi : float;
+  alpha : float;
+  levels : (float * int) list;
+  lower : float;
+  upper_factor : float;
+  ledger : Ledger.t;
+}
+
+let estimate ~rng g ~bfs ~alpha =
+  if alpha < 1.0 then invalid_arg "Mst_weight.estimate: alpha must be >= 1";
+  let ledger = Ledger.create () in
+  let w_min = Graph.fold_edges g (fun _ e acc -> Float.min acc e.Graph.w) infinity in
+  (* Start low enough that the first net is all of V (covering radius
+     below the minimum distance). *)
+  let scale0 =
+    let s = ref 1.0 in
+    while alpha *. !s >= w_min do
+      s := !s /. 2.0
+    done;
+    while alpha *. !s *. 2.0 < w_min do
+      s := !s *. 2.0
+    done;
+    !s
+  in
+  let levels = ref [] in
+  let psi = ref 0.0 in
+  let scale = ref scale0 in
+  let finished = ref (Graph.n g <= 1) in
+  while not !finished do
+    let net = Net.build ~rng g ~bfs ~radius:!scale ~delta:(alpha -. 1.0) in
+    Ledger.merge ledger ~prefix:"net" net.Net.ledger;
+    let ni = List.length net.Net.points in
+    levels := (!scale, ni) :: !levels;
+    psi := !psi +. (float_of_int ni *. alpha *. !scale *. 2.0);
+    if ni = 1 then finished := true else scale := !scale *. 2.0
+  done;
+  let levels = List.rev !levels in
+  {
+    psi = !psi;
+    alpha;
+    levels;
+    lower = 1.0;
+    upper_factor = 4.0 *. alpha *. float_of_int (List.length levels + 3);
+    ledger;
+  }

@@ -1,0 +1,28 @@
+(** MST-weight estimation from a net hierarchy — the constructive side
+    of the paper's Section-8 lower bound (Theorem 7): any algorithm
+    that builds (α·Δ, Δ)-nets can ε-approximate w(MST), hence needs
+    Ω̃(√n + D) rounds. Run forward, it is also a useful primitive: a
+    multiplicative O(α·log n) estimate of the MST weight from net
+    cardinalities alone.
+
+    For i = i₀, i₀+1, ... compute an (α·2^i, 2^i)-net N_i (starting
+    low enough that N_{i₀} = V), stopping at the first singleton net;
+    Ψ = Σ_i |N_i|·α·2^{i+1} satisfies L ≤ Ψ ≤ O(α·log n)·L. *)
+
+type t = {
+  psi : float;  (** the estimate Ψ *)
+  alpha : float;
+  levels : (float * int) list;  (** (scale 2^i, |N_i|) per level *)
+  lower : float;  (** guaranteed lower bound on Ψ/L: 1 *)
+  upper_factor : float;  (** guaranteed upper bound on Ψ/L: O(α·levels) *)
+  ledger : Ln_congest.Ledger.t;
+}
+
+(** [estimate ~rng g ~bfs ~alpha] runs the hierarchy.
+    @raise Invalid_argument unless [alpha >= 1]. *)
+val estimate :
+  rng:Random.State.t ->
+  Ln_graph.Graph.t ->
+  bfs:Ln_graph.Tree.t ->
+  alpha:float ->
+  t

@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Fun Graph List Printf Scanf String

@@ -1,0 +1,1 @@
+lib/graph/mst_seq.ml: Array Graph Int List Pqueue Union_find

@@ -1,0 +1,1 @@
+lib/graph/mst_seq.mli: Graph

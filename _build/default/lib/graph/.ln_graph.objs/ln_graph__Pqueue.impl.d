@@ -1,0 +1,1 @@
+lib/graph/pqueue.ml: Array

@@ -1,0 +1,1 @@
+lib/graph/stats.ml: Array Format Graph Hashtbl List Mst_seq Option Paths Random Tree

@@ -1,0 +1,155 @@
+type rng = Random.State.t
+
+let uniform rng lo hi = lo +. Random.State.float rng (hi -. lo)
+
+let edges_of_graph g = Graph.fold_edges g (fun _ e acc -> e :: acc) []
+
+let ensure_connected rng g =
+  let c, comp = Graph.components g in
+  if c <= 1 then g
+  else begin
+    (* Pick one representative per component, join them in a random
+       chain with heavy-ish weights so they rarely distort structure. *)
+    let reps = Array.make c (-1) in
+    for v = 0 to Graph.n g - 1 do
+      if reps.(comp.(v)) < 0 then reps.(comp.(v)) <- v
+    done;
+    let w_hi =
+      Graph.fold_edges g (fun _ e acc -> Float.max acc e.w) 1.0
+    in
+    let extra = ref [] in
+    for i = 1 to c - 1 do
+      let j = Random.State.int rng i in
+      extra :=
+        { Graph.u = reps.(i); v = reps.(j); w = uniform rng (0.5 *. w_hi) w_hi }
+        :: !extra
+    done;
+    Graph.create (Graph.n g) (!extra @ edges_of_graph g)
+  end
+
+let erdos_renyi rng ~n ~p ?(w_lo = 1.0) ?(w_hi = 100.0) () =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then
+        edges := { Graph.u; v; w = uniform rng w_lo w_hi } :: !edges
+    done
+  done;
+  ensure_connected rng (Graph.create n !edges)
+
+let heavy_tailed rng ~n ~p ?(range = 1e6) () =
+  let edges = ref [] in
+  let ln_range = Float.log range in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then begin
+        let w = Float.exp (Random.State.float rng ln_range) in
+        edges := { Graph.u; v; w } :: !edges
+      end
+    done
+  done;
+  ensure_connected rng (Graph.create n !edges)
+
+let random_geometric rng ~n ~radius ?(dim = 2) () =
+  let pts = Array.init n (fun _ -> Array.init dim (fun _ -> Random.State.float rng 1.0)) in
+  let dist i j =
+    let s = ref 0.0 in
+    for d = 0 to dim - 1 do
+      let dx = pts.(i).(d) -. pts.(j).(d) in
+      s := !s +. (dx *. dx)
+    done;
+    Float.sqrt !s
+  in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = dist u v in
+      if d <= radius && d > 0.0 then edges := { Graph.u; v; w = d } :: !edges
+    done
+  done;
+  let g = Graph.create n !edges in
+  (* Connect leftover components with true Euclidean distances so the
+     metric stays doubling. *)
+  let c, comp = Graph.components g in
+  let g =
+    if c <= 1 then g
+    else begin
+      let extra = ref [] in
+      let reps = Array.make c (-1) in
+      for v = 0 to n - 1 do
+        if reps.(comp.(v)) < 0 then reps.(comp.(v)) <- v
+      done;
+      for i = 1 to c - 1 do
+        (* attach to the geometrically nearest earlier representative *)
+        let best = ref 0 and bestd = ref infinity in
+        for j = 0 to i - 1 do
+          let d = dist reps.(i) reps.(j) in
+          if d < !bestd then begin
+            bestd := d;
+            best := j
+          end
+        done;
+        extra :=
+          { Graph.u = reps.(i); v = reps.(!best); w = Float.max !bestd 1e-6 } :: !extra
+      done;
+      Graph.create n (!extra @ edges_of_graph g)
+    end
+  in
+  (g, pts)
+
+let grid rng ~rows ~cols ?(jitter = true) () =
+  let idx r c = (r * cols) + c in
+  let w () = if jitter then uniform rng 0.9 1.1 else 1.0 in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := { Graph.u = idx r c; v = idx r (c + 1); w = w () } :: !edges;
+      if r + 1 < rows then edges := { Graph.u = idx r c; v = idx (r + 1) c; w = w () } :: !edges
+    done
+  done;
+  Graph.create (rows * cols) !edges
+
+let path ?(w = 1.0) n =
+  Graph.create n (List.init (max 0 (n - 1)) (fun i -> { Graph.u = i; v = i + 1; w }))
+
+let cycle ?(w = 1.0) n =
+  let es = List.init (max 0 (n - 1)) (fun i -> { Graph.u = i; v = i + 1; w }) in
+  Graph.create n (if n >= 3 then { Graph.u = n - 1; v = 0; w } :: es else es)
+
+let star ?(w = 1.0) n =
+  Graph.create n (List.init (max 0 (n - 1)) (fun i -> { Graph.u = 0; v = i + 1; w }))
+
+let complete rng ~n ?(w_lo = 1.0) ?(w_hi = 100.0) () =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := { Graph.u; v; w = uniform rng w_lo w_hi } :: !edges
+    done
+  done;
+  Graph.create n !edges
+
+let caterpillar rng ~spine ~legs () =
+  let edges = ref [] in
+  for i = 0 to spine - 2 do
+    edges := { Graph.u = i; v = i + 1; w = uniform rng 1.0 2.0 } :: !edges
+  done;
+  for l = 0 to legs - 1 do
+    let attach = Random.State.int rng (max 1 spine) in
+    edges := { Graph.u = attach; v = spine + l; w = uniform rng 0.1 0.5 } :: !edges
+  done;
+  Graph.create (spine + legs) !edges
+
+let clustered rng ~clusters ~size ~p_in ~p_out () =
+  let n = clusters * size in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let same = u / size = v / size in
+      let p = if same then p_in else p_out in
+      if Random.State.float rng 1.0 < p then begin
+        let w = if same then uniform rng 1.0 2.0 else uniform rng 50.0 100.0 in
+        edges := { Graph.u; v; w } :: !edges
+      end
+    done
+  done;
+  ensure_connected rng (Graph.create n !edges)

@@ -1,0 +1,51 @@
+(** Graph generators used by tests, examples and the benchmark harness.
+
+    All generators return *connected* weighted graphs (a few extra
+    connecting edges are added when the random model leaves isolated
+    components). Randomness is explicit via [Random.State.t]. *)
+
+type rng = Random.State.t
+
+(** [erdos_renyi rng ~n ~p ()] — G(n, p) with i.i.d. uniform weights in
+    [[w_lo, w_hi]] (defaults 1 and 100). *)
+val erdos_renyi :
+  rng -> n:int -> p:float -> ?w_lo:float -> ?w_hi:float -> unit -> Graph.t
+
+(** Like {!erdos_renyi} but with heavy-tailed (log-uniform) weights in
+    [[1, range]]; stresses the weight-bucketing of Section 5. *)
+val heavy_tailed : rng -> n:int -> p:float -> ?range:float -> unit -> Graph.t
+
+(** [random_geometric rng ~n ~radius ()] — [n] points uniform in the
+    unit [dim]-cube (default [dim = 2]); vertices within [radius] are
+    joined, weight = Euclidean distance. Doubling dimension O(dim).
+    Also returns the points. *)
+val random_geometric :
+  rng -> n:int -> radius:float -> ?dim:int -> unit -> Graph.t * float array array
+
+(** [grid rng ~rows ~cols ()] — grid with unit (or slightly jittered)
+    weights; hop diameter rows+cols. *)
+val grid : rng -> rows:int -> cols:int -> ?jitter:bool -> unit -> Graph.t
+
+(** [path n] — the n-vertex unit-weight path (worst case for D). *)
+val path : ?w:float -> int -> Graph.t
+
+val cycle : ?w:float -> int -> Graph.t
+
+(** [star n] — a unit-weight star with center 0. *)
+val star : ?w:float -> int -> Graph.t
+
+val complete : rng -> n:int -> ?w_lo:float -> ?w_hi:float -> unit -> Graph.t
+
+(** A path with pendant leaves — an adversarial MST/Euler shape. *)
+val caterpillar : rng -> spine:int -> legs:int -> unit -> Graph.t
+
+(** [clustered rng ~clusters ~size ~p_in ~p_out ()] — dense cheap
+    clusters joined by expensive sparse edges; adversarial for
+    lightness. *)
+val clustered :
+  rng -> clusters:int -> size:int -> p_in:float -> p_out:float -> unit -> Graph.t
+
+(** [ensure_connected rng g] adds minimum-count random inter-component
+    edges (with weights at the top of [g]'s weight range) until [g] is
+    connected. Identity on connected graphs. *)
+val ensure_connected : rng -> Graph.t -> Graph.t

@@ -1,0 +1,181 @@
+type edge = { u : int; v : int; w : float }
+
+type t = {
+  n : int;
+  edges : edge array;
+  adj : (int * int) array array; (* vertex -> [(edge_id, neighbor)] *)
+}
+
+let normalize_edge n e =
+  if e.u < 0 || e.u >= n || e.v < 0 || e.v >= n then
+    invalid_arg "Graph.create: endpoint out of range";
+  if e.w <= 0.0 || Float.is_nan e.w then
+    invalid_arg "Graph.create: weight must be positive and finite";
+  if e.u <= e.v then e else { u = e.v; v = e.u; w = e.w }
+
+let create n edge_list =
+  if n < 0 then invalid_arg "Graph.create: negative n";
+  (* Drop self-loops, collapse parallel edges keeping the lightest. *)
+  let tbl = Hashtbl.create (max 16 (List.length edge_list)) in
+  List.iter
+    (fun e ->
+      let e = normalize_edge n e in
+      if e.u <> e.v then begin
+        let key = (e.u, e.v) in
+        match Hashtbl.find_opt tbl key with
+        | Some w0 when w0 <= e.w -> ()
+        | _ -> Hashtbl.replace tbl key e.w
+      end)
+    edge_list;
+  let edges =
+    Hashtbl.fold (fun (u, v) w acc -> { u; v; w } :: acc) tbl []
+    |> List.sort (fun a b -> compare (a.u, a.v) (b.u, b.v))
+    |> Array.of_list
+  in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (-1, -1)) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun id e ->
+      adj.(e.u).(fill.(e.u)) <- (id, e.v);
+      fill.(e.u) <- fill.(e.u) + 1;
+      adj.(e.v).(fill.(e.v)) <- (id, e.u);
+      fill.(e.v) <- fill.(e.v) + 1)
+    edges;
+  { n; edges; adj }
+
+let n g = g.n
+let m g = Array.length g.edges
+let edge g id = g.edges.(id)
+let weight g id = g.edges.(id).w
+
+let endpoints g id =
+  let e = g.edges.(id) in
+  (e.u, e.v)
+
+let other_end g id x =
+  let e = g.edges.(id) in
+  if e.u = x then e.v
+  else if e.v = x then e.u
+  else invalid_arg "Graph.other_end: vertex not an endpoint"
+
+let neighbors g v = g.adj.(v)
+let degree g v = Array.length g.adj.(v)
+
+let iter_edges g f = Array.iteri f g.edges
+
+let fold_edges g f acc =
+  let acc = ref acc in
+  Array.iteri (fun id e -> acc := f id e !acc) g.edges;
+  !acc
+
+let find_edge g u v =
+  let u, v = if degree g u <= degree g v then (u, v) else (v, u) in
+  let nbrs = g.adj.(u) in
+  let rec scan i =
+    if i >= Array.length nbrs then None
+    else
+      let id, w = nbrs.(i) in
+      if w = v then Some id else scan (i + 1)
+  in
+  scan 0
+
+let total_weight g = Array.fold_left (fun acc e -> acc +. e.w) 0.0 g.edges
+
+let weight_of_edges g ids = List.fold_left (fun acc id -> acc +. weight g id) 0.0 ids
+
+let subgraph g ids =
+  let ids = Array.of_list ids in
+  let sub = create g.n (Array.to_list (Array.map (fun id -> g.edges.(id)) ids)) in
+  (* [create] sorts and dedups; rebuild the id mapping by lookup. *)
+  let map = Hashtbl.create (Array.length ids) in
+  Array.iter
+    (fun id ->
+      let e = g.edges.(id) in
+      Hashtbl.replace map (e.u, e.v) id)
+    ids;
+  let original_id sub_id =
+    let e = sub.edges.(sub_id) in
+    Hashtbl.find map (e.u, e.v)
+  in
+  (sub, original_id)
+
+let components g =
+  let comp = Array.make g.n (-1) in
+  let c = ref 0 in
+  let stack = Stack.create () in
+  for s = 0 to g.n - 1 do
+    if comp.(s) < 0 then begin
+      Stack.push s stack;
+      comp.(s) <- !c;
+      while not (Stack.is_empty stack) do
+        let v = Stack.pop stack in
+        Array.iter
+          (fun (_, u) ->
+            if comp.(u) < 0 then begin
+              comp.(u) <- !c;
+              Stack.push u stack
+            end)
+          g.adj.(v)
+      done;
+      incr c
+    end
+  done;
+  (!c, comp)
+
+let is_connected g =
+  if g.n <= 1 then true
+  else
+    let c, _ = components g in
+    c = 1
+
+let bfs_hops g src =
+  let dist = Array.make g.n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (_, u) ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.push u q
+        end)
+      g.adj.(v)
+  done;
+  dist
+
+let hop_diameter g =
+  if not (is_connected g) then invalid_arg "Graph.hop_diameter: disconnected";
+  (* Exact: BFS from every vertex. Fine at simulation scale. *)
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    let dist = bfs_hops g v in
+    Array.iter (fun d -> if d > !best then best := d) dist
+  done;
+  !best
+
+let weight_aspect_ratio g =
+  if m g = 0 then 1.0
+  else begin
+    let lo = ref infinity and hi = ref 0.0 in
+    Array.iter
+      (fun e ->
+        if e.w < !lo then lo := e.w;
+        if e.w > !hi then hi := e.w)
+      g.edges;
+    !hi /. !lo
+  end
+
+let compare_edges g a b =
+  let c = Float.compare g.edges.(a).w g.edges.(b).w in
+  if c <> 0 then c else Int.compare a b
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d, aspect=%.3g)" g.n (m g) (weight_aspect_ratio g)

@@ -1,0 +1,87 @@
+(** Weighted undirected graphs with stable integer edge ids.
+
+    This is the substrate every algorithm in the library operates on.
+    Vertices are [0 .. n-1]; an edge is identified by its index in the
+    edge array, so a subgraph (spanner, tree, ...) is just a set of edge
+    ids. Weights are strictly positive floats. Parallel edges are
+    collapsed to the lightest one and self-loops dropped at construction
+    time, matching the paper's simple-graph setting. *)
+
+type edge = { u : int; v : int; w : float }
+
+type t
+
+(** [create n edges] builds a graph on [n] vertices. Self-loops are
+    dropped, parallel edges are collapsed keeping the minimum weight.
+    @raise Invalid_argument on out-of-range endpoints or weights [<= 0]. *)
+val create : int -> edge list -> t
+
+(** Number of vertices. *)
+val n : t -> int
+
+(** Number of edges. *)
+val m : t -> int
+
+(** [edge g id] is the edge with identifier [id]. *)
+val edge : t -> int -> edge
+
+(** [weight g id] is the weight of edge [id]. *)
+val weight : t -> int -> float
+
+(** [endpoints g id] is [(u, v)] with [u < v]. *)
+val endpoints : t -> int -> int * int
+
+(** [other_end g id x] is the endpoint of edge [id] different from [x].
+    @raise Invalid_argument if [x] is not an endpoint of [id]. *)
+val other_end : t -> int -> int -> int
+
+(** [neighbors g v] is the array of [(edge_id, neighbor)] pairs incident
+    to [v]. The returned array is owned by the graph: do not mutate. *)
+val neighbors : t -> int -> (int * int) array
+
+(** [degree g v] is the number of edges incident to [v]. *)
+val degree : t -> int -> int
+
+(** [iter_edges g f] applies [f id edge] to every edge. *)
+val iter_edges : t -> (int -> edge -> unit) -> unit
+
+(** [fold_edges g f acc] folds [f] over all [(id, edge)]. *)
+val fold_edges : t -> (int -> edge -> 'a -> 'a) -> 'a -> 'a
+
+(** [find_edge g u v] is [Some id] if there is an edge between [u] and
+    [v], else [None]. O(min degree). *)
+val find_edge : t -> int -> int -> int option
+
+(** Total weight of all edges. *)
+val total_weight : t -> float
+
+(** [weight_of_edges g ids] is the summed weight of the listed edges. *)
+val weight_of_edges : t -> int list -> float
+
+(** [subgraph g ids] is the graph on the same vertex set whose edges are
+    exactly [ids] (with fresh edge ids); [original_id] maps them back. *)
+val subgraph : t -> int list -> t * (int -> int)
+
+(** [is_connected g] is [true] iff [g] has a single connected component
+    (the empty graph and the 1-vertex graph are connected). *)
+val is_connected : t -> bool
+
+(** [components g] assigns each vertex a component index in
+    [0 .. c-1]; returns [(c, comp array)]. *)
+val components : t -> int * int array
+
+(** [hop_diameter g] is the diameter of the underlying unweighted graph
+    (the paper's [D]). @raise Invalid_argument if [g] is disconnected. *)
+val hop_diameter : t -> int
+
+(** Largest edge weight divided by smallest (aspect ratio of weights);
+    [1.0] for the edgeless graph. *)
+val weight_aspect_ratio : t -> float
+
+(** [compare_edges g a b] orders edge ids by [(weight, id)] — the
+    tie-break every MST implementation in this library uses, making the
+    MST unique and letting independent constructions agree exactly. *)
+val compare_edges : t -> int -> int -> int
+
+(** Pretty-printer for debugging ([n], [m], weight range). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+let write_graph oc g =
+  Printf.fprintf oc "c lightnet graph\np edge %d %d\n" (Graph.n g) (Graph.m g);
+  Graph.iter_edges g (fun _ e ->
+      Printf.fprintf oc "e %d %d %.17g\n" (e.Graph.u + 1) (e.Graph.v + 1) e.Graph.w)
+
+let read_graph ic =
+  let n = ref (-1) in
+  let edges = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let line = String.trim line in
+       if line = "" then ()
+       else begin
+         match line.[0] with
+         | 'c' -> ()
+         | 'p' ->
+           Scanf.sscanf line "p edge %d %d" (fun nv _ -> n := nv)
+         | 'e' ->
+           Scanf.sscanf line "e %d %d %f" (fun u v w ->
+               edges := { Graph.u = u - 1; v = v - 1; w } :: !edges)
+         | _ -> failwith ("Graph_io.read_graph: unexpected line " ^ line)
+       end
+     done
+   with End_of_file -> ());
+  if !n < 0 then failwith "Graph_io.read_graph: missing problem line";
+  Graph.create !n !edges
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_in path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let save_graph path g = with_out path (fun oc -> write_graph oc g)
+let load_graph path = with_in path read_graph
+
+let write_edge_set oc ids =
+  Printf.fprintf oc "# lightnet edge set (%d edges)\n" (List.length ids);
+  List.iter (fun id -> Printf.fprintf oc "%d\n" id) ids
+
+let read_edge_set ic =
+  let ids = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then ids := int_of_string line :: !ids
+     done
+   with End_of_file -> ());
+  List.rev !ids
+
+let save_edge_set path ids = with_out path (fun oc -> write_edge_set oc ids)
+let load_edge_set path = with_in path read_edge_set

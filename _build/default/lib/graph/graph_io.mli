@@ -1,0 +1,33 @@
+(** Reading and writing weighted graphs (and edge subsets) in the
+    DIMACS-like text format:
+
+    {v
+    c comment lines
+    p edge <n> <m>
+    e <u> <v> <w>        (1-based vertex ids, float weights)
+    v}
+
+    Subgraph certificates (spanners, trees) are exchanged as edge-id
+    lists, one per line, against a named graph file — so CLI runs can
+    be checked and re-used by external tooling. *)
+
+(** [write_graph oc g] emits [g]. *)
+val write_graph : out_channel -> Graph.t -> unit
+
+(** [read_graph ic] parses a graph.
+    @raise Failure on malformed input. *)
+val read_graph : in_channel -> Graph.t
+
+(** [save_graph path g] / [load_graph path] — file convenience. *)
+val save_graph : string -> Graph.t -> unit
+
+val load_graph : string -> Graph.t
+
+(** [write_edge_set oc ids] / [read_edge_set ic] — one edge id per
+    line, '#' comments allowed. *)
+val write_edge_set : out_channel -> int list -> unit
+
+val read_edge_set : in_channel -> int list
+
+val save_edge_set : string -> int list -> unit
+val load_edge_set : string -> int list

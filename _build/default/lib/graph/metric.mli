@@ -1,0 +1,23 @@
+(** Metric-space helpers: the shortest-path metric of a graph, balls,
+    and an empirical doubling-dimension estimate (Section 7 works with
+    graphs of bounded doubling dimension). *)
+
+(** [ball g ~center ~radius] is the set of vertices within shortest-
+    path distance [radius] of [center]. *)
+val ball : Graph.t -> center:int -> radius:float -> int list
+
+(** [estimate_ddim ?samples rng g] estimates the doubling dimension of
+    [g]'s shortest-path metric as the maximum over sampled (center,
+    radius) pairs of [log2 |B(v, 2r)| - log2 |B(v, r)|] — the standard
+    KR-dimension proxy. An upper-bound flavour estimate; exact cover
+    computation is NP-hard. *)
+val estimate_ddim : ?samples:int -> Random.State.t -> Graph.t -> float
+
+(** [separation g pts] is the minimum pairwise shortest-path distance
+    among [pts] ([infinity] for fewer than two points). *)
+val separation : Graph.t -> int list -> float
+
+(** [covering_radius g pts] is the maximum over vertices of the
+    distance to the nearest point of [pts] ([infinity] if [pts] is
+    empty and the graph nonempty). *)
+val covering_radius : Graph.t -> int list -> float

@@ -1,0 +1,65 @@
+let kruskal g =
+  if not (Graph.is_connected g) then invalid_arg "Mst_seq.kruskal: disconnected";
+  let ids = Array.init (Graph.m g) (fun i -> i) in
+  Array.sort (Graph.compare_edges g) ids;
+  let uf = Union_find.create (Graph.n g) in
+  let acc = ref [] in
+  Array.iter
+    (fun id ->
+      let u, v = Graph.endpoints g id in
+      if Union_find.union uf u v then acc := id :: !acc)
+    ids;
+  List.sort Int.compare !acc
+
+let prim g =
+  if not (Graph.is_connected g) then invalid_arg "Mst_seq.prim: disconnected";
+  let n = Graph.n g in
+  if n = 0 then []
+  else begin
+    let in_tree = Array.make n false in
+    let q = Pqueue.create () in
+    let acc = ref [] in
+    let add v =
+      in_tree.(v) <- true;
+      Array.iter
+        (fun (id, u) ->
+          if not in_tree.(u) then
+            (* Encode the tie-break in the priority: weight first, id second. *)
+            Pqueue.push q (Graph.weight g id) (id, u))
+        (Graph.neighbors g v)
+    in
+    add 0;
+    let picked = ref 1 in
+    while !picked < n do
+      (* Among equal-weight candidates the heap order is arbitrary, so pop
+         all minimum-weight entries and choose the smallest edge id whose
+         endpoint is still outside the tree. *)
+      let w0, _ = Pqueue.peek_min q in
+      let batch = ref [] in
+      while (not (Pqueue.is_empty q)) && fst (Pqueue.peek_min q) = w0 do
+        batch := snd (Pqueue.pop_min q) :: !batch
+      done;
+      let live = List.filter (fun (_, u) -> not in_tree.(u)) !batch in
+      match List.sort (fun (a, _) (b, _) -> Int.compare a b) live with
+      | [] -> ()
+      | (id, u) :: rest ->
+        List.iter (fun (id, u) -> Pqueue.push q (Graph.weight g id) (id, u)) rest;
+        acc := id :: !acc;
+        add u;
+        incr picked
+    done;
+    List.sort Int.compare !acc
+  end
+
+let weight g = Graph.weight_of_edges g (kruskal g)
+
+let is_spanning_tree g ids =
+  List.length ids = Graph.n g - 1
+  &&
+  let uf = Union_find.create (Graph.n g) in
+  List.iter
+    (fun id ->
+      let u, v = Graph.endpoints g id in
+      ignore (Union_find.union uf u v))
+    ids;
+  Union_find.count uf = 1

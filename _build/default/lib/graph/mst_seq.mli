@@ -1,0 +1,21 @@
+(** Sequential minimum spanning tree algorithms.
+
+    All MST code in this library — sequential and distributed — breaks
+    weight ties by edge id ({!Graph.compare_edges}), so the MST is
+    unique and independent constructions can be compared edge-for-edge.
+    Inputs must be connected graphs. *)
+
+(** [kruskal g] is the list of MST edge ids (sorted increasingly).
+    @raise Invalid_argument if [g] is disconnected. *)
+val kruskal : Graph.t -> int list
+
+(** [prim g] is the same MST computed by Prim's algorithm (used to
+    cross-check Kruskal and the distributed construction). *)
+val prim : Graph.t -> int list
+
+(** [weight g] is the total MST weight [w(MST)]. *)
+val weight : Graph.t -> float
+
+(** [is_spanning_tree g ids] checks that [ids] has [n-1] edges and
+    connects all vertices. *)
+val is_spanning_tree : Graph.t -> int list -> bool

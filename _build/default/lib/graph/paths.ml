@@ -1,0 +1,81 @@
+type sssp = { dist : float array; parent_edge : int array }
+
+let dijkstra_core ?(bound = infinity) ?(edge_ok = fun _ -> true) g seeds =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let parent_edge = Array.make n (-1) in
+  let source = Array.make n (-1) in
+  let settled = Array.make n false in
+  let q = Pqueue.create () in
+  List.iter
+    (fun s ->
+      dist.(s) <- 0.0;
+      source.(s) <- s;
+      Pqueue.push q 0.0 s)
+    seeds;
+  let rec loop () =
+    if not (Pqueue.is_empty q) then begin
+      let d, v = Pqueue.pop_min q in
+      if not settled.(v) then begin
+        settled.(v) <- true;
+        if d <= bound then
+          Array.iter
+            (fun (id, u) ->
+              if edge_ok id && not settled.(u) then begin
+                let nd = d +. Graph.weight g id in
+                if nd < dist.(u) && nd <= bound then begin
+                  dist.(u) <- nd;
+                  parent_edge.(u) <- id;
+                  source.(u) <- source.(v);
+                  Pqueue.push q nd u
+                end
+              end)
+            (Graph.neighbors g v)
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  ({ dist; parent_edge }, source)
+
+let dijkstra ?bound ?edge_ok g src = fst (dijkstra_core ?bound ?edge_ok g [ src ])
+
+let dijkstra_multi ?bound ?edge_ok g srcs = dijkstra_core ?bound ?edge_ok g srcs
+
+let distance ?edge_ok g u v =
+  let r = dijkstra ?edge_ok g u in
+  r.dist.(v)
+
+let path_to r g v =
+  if r.dist.(v) = infinity then None
+  else begin
+    let rec walk v acc =
+      let id = r.parent_edge.(v) in
+      if id < 0 then v :: acc else walk (Graph.other_end g id v) (v :: acc)
+    in
+    Some (walk v [])
+  end
+
+let bfs_hops g src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun (_, u) ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.push u q
+        end)
+      (Graph.neighbors g v)
+  done;
+  dist
+
+let eccentricity_hops g v =
+  Array.fold_left (fun acc d -> max acc d) 0 (bfs_hops g v)
+
+let all_pairs ?edge_ok g =
+  Array.init (Graph.n g) (fun v -> (dijkstra ?edge_ok g v).dist)

@@ -1,0 +1,26 @@
+(** Binary min-heap priority queue with [float] priorities and arbitrary
+    payloads. Supports lazy deletion via [pop_min] returning items in
+    nondecreasing priority order; decrease-key is done by re-insertion
+    (standard for Dijkstra with a settled-set check). *)
+
+type 'a t
+
+(** [create ()] is an empty queue. *)
+val create : unit -> 'a t
+
+(** [is_empty q] is [true] iff [q] holds no items. *)
+val is_empty : 'a t -> bool
+
+(** [length q] is the number of items currently in [q]. *)
+val length : 'a t -> int
+
+(** [push q prio x] inserts [x] with priority [prio]. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop_min q] removes and returns [(prio, x)] with minimal [prio].
+    @raise Not_found if [q] is empty. *)
+val pop_min : 'a t -> float * 'a
+
+(** [peek_min q] is the minimal element without removing it.
+    @raise Not_found if [q] is empty. *)
+val peek_min : 'a t -> float * 'a

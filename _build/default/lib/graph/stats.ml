@@ -1,0 +1,105 @@
+let lightness g ids =
+  let w_mst = Mst_seq.weight g in
+  Graph.weight_of_edges g ids /. w_mst
+
+let in_set g ids =
+  let mask = Array.make (Graph.m g) false in
+  List.iter (fun id -> mask.(id) <- true) ids;
+  fun id -> mask.(id)
+
+let max_edge_stretch g ids =
+  let edge_ok = in_set g ids in
+  let worst = ref 1.0 in
+  (* Dijkstra in H from each vertex once; check its incident edges. *)
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v > 0 then begin
+      let sp = Paths.dijkstra ~edge_ok g v in
+      Array.iter
+        (fun (id, u) ->
+          if u > v then begin
+            let s = sp.dist.(u) /. Graph.weight g id in
+            if s > !worst then worst := s
+          end)
+        (Graph.neighbors g v)
+    end
+  done;
+  !worst
+
+let sampled_edge_stretch rng g ids ~samples =
+  let m = Graph.m g in
+  if m = 0 then 1.0
+  else begin
+    let edge_ok = in_set g ids in
+    let worst = ref 1.0 in
+    (* Group sampled edges by endpoint to reuse Dijkstra runs. *)
+    let chosen = Array.init samples (fun _ -> Random.State.int rng m) in
+    let by_src = Hashtbl.create samples in
+    Array.iter
+      (fun id ->
+        let u, _ = Graph.endpoints g id in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_src u) in
+        Hashtbl.replace by_src u (id :: cur))
+      chosen;
+    Hashtbl.iter
+      (fun u ids_here ->
+        let sp = Paths.dijkstra ~edge_ok g u in
+        List.iter
+          (fun id ->
+            let v = Graph.other_end g id u in
+            let s = sp.dist.(v) /. Graph.weight g id in
+            if s > !worst then worst := s)
+          ids_here)
+      by_src;
+    !worst
+  end
+
+let root_stretch g ids ~root =
+  let edge_ok = in_set g ids in
+  let exact = Paths.dijkstra g root in
+  let approx = Paths.dijkstra ~edge_ok g root in
+  let worst = ref 1.0 in
+  for v = 0 to Graph.n g - 1 do
+    if v <> root && exact.dist.(v) > 0.0 then begin
+      let s = approx.dist.(v) /. exact.dist.(v) in
+      if s > !worst then worst := s
+    end
+  done;
+  !worst
+
+let tree_root_stretch g tree ~root =
+  let exact = Paths.dijkstra g root in
+  let worst = ref 1.0 in
+  for v = 0 to Graph.n g - 1 do
+    if v <> root && exact.dist.(v) > 0.0 then begin
+      let s = Tree.dist_to_root tree v /. exact.dist.(v) in
+      if s > !worst then worst := s
+    end
+  done;
+  !worst
+
+type report = {
+  edges : int;
+  weight : float;
+  lightness : float;
+  stretch : float;
+  sampled : bool;
+}
+
+let report ?sample rng g ids =
+  let stretch, sampled =
+    match sample with
+    | Some samples -> (sampled_edge_stretch rng g ids ~samples, true)
+    | None -> (max_edge_stretch g ids, false)
+  in
+  {
+    edges = List.length ids;
+    weight = Graph.weight_of_edges g ids;
+    lightness = lightness g ids;
+    stretch;
+    sampled;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "edges=%d weight=%.1f lightness=%.3f stretch=%.4f%s" r.edges
+    r.weight r.lightness r.stretch
+    (if r.sampled then " (sampled)" else "")

@@ -1,0 +1,40 @@
+(** Quality metrics for subgraphs: the quantities Table 1 of the paper
+    bounds — stretch, lightness, size — computed exactly (or on sampled
+    pairs for large instances) against Dijkstra ground truth. *)
+
+(** [lightness g ids] is [w(H) / w(MST)] where [H] is the edge set
+    [ids]. *)
+val lightness : Graph.t -> int list -> float
+
+(** [max_edge_stretch g ids] is the maximum over graph edges [(u,v)] of
+    [d_H(u,v) / w(u,v)]. By the triangle inequality this equals the
+    maximum pairwise stretch of the spanner [H = (V, ids)]. [infinity]
+    if [H] fails to connect some edge's endpoints. Cost: one Dijkstra
+    in [H] per vertex that has incident edges. *)
+val max_edge_stretch : Graph.t -> int list -> float
+
+(** [sampled_edge_stretch rng g ids ~samples] — same, over a random
+    sample of edges (an underestimate; cheap for big instances). *)
+val sampled_edge_stretch :
+  Random.State.t -> Graph.t -> int list -> samples:int -> float
+
+(** [root_stretch g ids ~root] is the maximum over vertices [v] of
+    [d_H(root, v) / d_G(root, v)] — the SLT guarantee of Section 4. *)
+val root_stretch : Graph.t -> int list -> root:int -> float
+
+(** [tree_root_stretch g tree ~root] — same but with distances measured
+    along a tree (cheaper, exact). *)
+val tree_root_stretch : Graph.t -> Tree.t -> root:int -> float
+
+(** A bundled quality report used by benches and examples. *)
+type report = {
+  edges : int;
+  weight : float;
+  lightness : float;
+  stretch : float;  (** max edge stretch, or sampled when [sampled] *)
+  sampled : bool;
+}
+
+val report : ?sample:int -> Random.State.t -> Graph.t -> int list -> report
+
+val pp_report : Format.formatter -> report -> unit

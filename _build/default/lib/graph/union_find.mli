@@ -1,0 +1,26 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by Kruskal's algorithm and by the Borůvka phases of the
+    distributed MST (for its sequential reference implementation). *)
+
+type t
+
+(** [create n] is a union-find structure over elements [0 .. n-1],
+    each initially in its own singleton set. *)
+val create : int -> t
+
+(** [find t x] is the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union t x y] merges the sets of [x] and [y]. Returns [true] if the
+    sets were distinct (a merge happened), [false] otherwise. *)
+val union : t -> int -> int -> bool
+
+(** [same t x y] is [true] iff [x] and [y] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** [count t] is the current number of disjoint sets. *)
+val count : t -> int
+
+(** [size t x] is the cardinality of [x]'s set. *)
+val size : t -> int -> int

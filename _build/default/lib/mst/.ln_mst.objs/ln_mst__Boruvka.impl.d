@@ -1,0 +1,1 @@
+lib/mst/boruvka.ml: Array Fragments Hashtbl List Ln_graph Queue

@@ -1,0 +1,1 @@
+lib/mst/boruvka.mli: Fragments Ln_graph

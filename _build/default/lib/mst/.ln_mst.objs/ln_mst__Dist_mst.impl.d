@@ -1,0 +1,1 @@
+lib/mst/dist_mst.ml: Array Boruvka Float Fragments Hashtbl Int List Ln_congest Ln_graph Ln_prim Queue

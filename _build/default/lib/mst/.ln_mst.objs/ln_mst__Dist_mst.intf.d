@@ -1,0 +1,1 @@
+lib/mst/dist_mst.mli: Fragments Ln_congest Ln_graph

@@ -1,0 +1,1 @@
+lib/mst/fragments.ml: Array Hashtbl List Ln_graph Queue

@@ -1,0 +1,26 @@
+(** Controlled Borůvka — the phase-1 fragment builder of the [KP98]
+    MST algorithm (standing in for the full GHS-with-counters machinery;
+    see DESIGN.md "Fidelity model").
+
+    Runs Borůvka merge phases, with fragments whose internal tree
+    hop-diameter exceeds [diam_cap] frozen (they stop proposing merge
+    edges), until at most [target] fragments remain or no live fragment
+    can merge. All edges chosen are MST edges (weight ties broken by
+    edge id, so the result is a sub-forest of *the* MST).
+
+    The round cost of each phase in the distributed execution this
+    stands in for is O(live fragment diameter) — returned per phase so
+    the caller can charge the ledger from measured quantities. *)
+
+type phase = {
+  fragments_before : int;
+  merges : int;
+  max_live_diameter : int;  (** max hop-diameter among proposing fragments *)
+}
+
+(** [base_fragments g ~target ~diam_cap] returns the fragment bundle
+    and per-phase statistics. With [target >= 1] on a connected graph
+    the result always has at least one fragment; with [target = 1] and
+    no diameter cap it computes the full MST. *)
+val base_fragments :
+  Ln_graph.Graph.t -> target:int -> diam_cap:int -> Fragments.t * phase list

@@ -1,0 +1,1 @@
+lib/nets/greedy_net.ml: Array List Ln_graph

@@ -1,0 +1,1 @@
+lib/nets/greedy_net.mli: Ln_graph

@@ -1,0 +1,1 @@
+lib/nets/le_list.ml: Array Float Format Hashtbl List Ln_graph

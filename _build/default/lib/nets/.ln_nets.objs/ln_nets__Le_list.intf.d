@@ -1,0 +1,1 @@
+lib/nets/le_list.mli: Ln_graph

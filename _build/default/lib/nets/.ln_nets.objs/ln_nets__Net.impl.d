@@ -1,0 +1,1 @@
+lib/nets/net.ml: Array Float Fun Hashtbl Int Le_list List Ln_aspt Ln_congest Ln_graph Random

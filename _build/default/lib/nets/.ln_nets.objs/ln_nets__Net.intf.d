@@ -1,0 +1,1 @@
+lib/nets/net.mli: Ln_congest Ln_graph Random

@@ -1,0 +1,1 @@
+lib/nets/ruling_set.ml: Ln_graph Net

@@ -1,0 +1,1 @@
+lib/nets/ruling_set.mli: Ln_graph Random

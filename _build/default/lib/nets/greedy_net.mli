@@ -1,0 +1,9 @@
+(** Sequential greedy (Δ, Δ)-net — the classical baseline the paper's
+    distributed construction is measured against (inherently
+    sequential, which is the paper's motivation for Section 6).
+
+    Scans vertices in id order and keeps every vertex further than Δ
+    from all previously kept ones: the result is Δ-covering and
+    Δ-separated. *)
+
+val build : Ln_graph.Graph.t -> radius:float -> int list

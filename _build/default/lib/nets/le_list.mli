@@ -1,0 +1,26 @@
+(** Least-Element lists [Coh97] (Definition 1 of the paper).
+
+    Given a permutation π over a vertex subset A, the LE list of v is
+    { (u, d_G(u,v)) : u ∈ A, no w ∈ A has d_G(v,w) ≤ d_G(v,u) and
+    π(w) < π(u) } — i.e. the per-distance prefix minima of π.
+
+    Computed by Cohen's pruned-Dijkstra algorithm (process sources in π
+    order; prune the search at vertices whose current best-π entry is
+    already closer). This is the sequential stand-in for the [FL16]
+    distributed computation — see DESIGN.md "Substitutions"; the net
+    algorithm charges its round cost and consumes only the lists, whose
+    contents satisfy Definition 1 exactly (i.e. with respect to an
+    exact H, δ′ = 0). W.h.p. every list has O(log |A|) entries
+    [KKM+12]. *)
+
+(** [compute g ~order] — [order] lists the subset A in π order (first =
+    π-minimal). Returns per-vertex LE lists as (u, d) pairs sorted by
+    increasing distance (equivalently decreasing π rank). Every vertex
+    of the graph gets a list (the definition quantifies u over A but v
+    over V, which is what the net algorithm needs). *)
+val compute : Ln_graph.Graph.t -> order:int list -> (int * float) list array
+
+(** [check g ~order lists] re-verifies Definition 1 against brute-force
+    Dijkstra; used by the test-suite. *)
+val check :
+  Ln_graph.Graph.t -> order:int list -> (int * float) list array -> (unit, string) result

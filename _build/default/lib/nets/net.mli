@@ -1,0 +1,44 @@
+(** Distributed (α, β)-net construction — Section 6 (Theorem 3).
+
+    A set N ⊆ V is α-covering (every vertex has a net point within α)
+    and β-separated (net points are pairwise further than β apart).
+    Theorem 3 builds a ((1+δ)·Δ, Δ/(1+δ))-net in
+    (√n + D)·2^{Õ(√(log n·log(1/δ)))} rounds.
+
+    Algorithm (O(log n) iterations w.h.p.): each iteration samples a
+    uniform permutation over the active vertices, computes LE lists
+    ({!Le_list}, standing in for [FL16] — *charged* per DESIGN.md),
+    lets every vertex that is π-first in its Δ-ball join the net, and
+    deactivates everything within (1+δ)Δ of the new net points via a
+    native distance-bounded multi-source Bellman–Ford
+    ({!Ln_aspt.Bellman_ford.multi_source}, the approximate-SPT step of
+    the paper).
+
+    Because our LE lists and deactivation distances are exact (δ′ = 0 ≤
+    δ), the result is in fact a ((1+δ)·Δ, Δ)-net — within the theorem's
+    guarantee with slack in the separation. *)
+
+type t = {
+  points : int list;  (** the net N *)
+  radius : float;  (** Δ *)
+  delta : float;  (** δ *)
+  covering_bound : float;  (** (1+δ)·Δ *)
+  separation_bound : float;  (** Δ *)
+  iterations : int;
+  ledger : Ln_congest.Ledger.t;
+}
+
+(** [build ~rng g ~bfs ~radius ~delta] runs the construction.
+    @raise Invalid_argument unless [radius > 0] and [delta >= 0]. *)
+val build :
+  rng:Random.State.t ->
+  Ln_graph.Graph.t ->
+  bfs:Ln_graph.Tree.t ->
+  radius:float ->
+  delta:float ->
+  t
+
+(** [is_net g ~covering ~separation pts] checks both net properties
+    exactly (Dijkstra); used by tests and the experiment harness. *)
+val is_net :
+  Ln_graph.Graph.t -> covering:float -> separation:float -> int list -> bool

@@ -1,0 +1,23 @@
+module Graph = Ln_graph.Graph
+
+type t = {
+  points : int list;
+  covering_hops : int;
+  separation_hops : int;
+  iterations : int;
+}
+
+let build ~rng g ~bfs ~k =
+  if k < 1 then invalid_arg "Ruling_set.build: k must be >= 1";
+  (* Unit-weight view of the graph. *)
+  let unit_g =
+    Graph.create (Graph.n g)
+      (Graph.fold_edges g (fun _ e acc -> { e with Graph.w = 1.0 } :: acc) [])
+  in
+  let net = Net.build ~rng unit_g ~bfs ~radius:(float_of_int k) ~delta:0.0 in
+  {
+    points = net.Net.points;
+    covering_hops = k;
+    separation_hops = k;
+    iterations = net.Net.iterations;
+  }

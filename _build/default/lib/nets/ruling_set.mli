@@ -1,0 +1,17 @@
+(** (α, β)-ruling sets on unweighted graphs — the special case of nets
+    the prior distributed work ([AGLP89], [Lub86], [SEW13]) handles;
+    the paper's Section 6 generalizes them to weighted graphs.
+
+    A (k, k)-ruling set is also a maximal independent set of G^k. *)
+
+type t = {
+  points : int list;
+  covering_hops : int;  (** every vertex is within this many hops *)
+  separation_hops : int;  (** points are pairwise strictly further *)
+  iterations : int;
+}
+
+(** [build ~rng g ~k] — a (k·(1+δ̂), k)-ruling set via the weighted net
+    machinery on unit weights, with δ̂ rounded so both bounds are the
+    integers reported in the result. *)
+val build : rng:Random.State.t -> Ln_graph.Graph.t -> bfs:Ln_graph.Tree.t -> k:int -> t

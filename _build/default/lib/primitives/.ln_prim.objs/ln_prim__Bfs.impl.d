@@ -1,0 +1,1 @@
+lib/primitives/bfs.ml: Array List Ln_congest Ln_graph

@@ -1,0 +1,1 @@
+lib/primitives/bfs.mli: Ln_congest Ln_graph

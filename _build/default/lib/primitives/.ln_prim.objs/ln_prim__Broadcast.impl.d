@@ -1,0 +1,1 @@
+lib/primitives/broadcast.ml: Array List Ln_congest Ln_graph

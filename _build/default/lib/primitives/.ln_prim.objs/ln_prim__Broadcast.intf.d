@@ -1,0 +1,1 @@
+lib/primitives/broadcast.mli: Ln_congest Ln_graph

@@ -1,0 +1,1 @@
+lib/primitives/convergecast.ml: Array List Ln_congest Ln_graph

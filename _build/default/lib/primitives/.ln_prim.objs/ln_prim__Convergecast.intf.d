@@ -1,0 +1,1 @@
+lib/primitives/convergecast.mli: Ln_congest Ln_graph

@@ -1,0 +1,1 @@
+lib/primitives/exchange.ml: Array List Ln_congest

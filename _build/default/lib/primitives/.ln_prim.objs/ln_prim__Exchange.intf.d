@@ -1,0 +1,1 @@
+lib/primitives/exchange.mli: Ln_congest Ln_graph

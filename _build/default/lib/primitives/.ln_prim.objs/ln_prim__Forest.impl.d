@@ -1,0 +1,1 @@
+lib/primitives/forest.ml: Array Int List Ln_congest Ln_graph

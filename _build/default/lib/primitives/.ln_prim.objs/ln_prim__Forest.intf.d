@@ -1,0 +1,1 @@
+lib/primitives/forest.mli: Ln_congest Ln_graph

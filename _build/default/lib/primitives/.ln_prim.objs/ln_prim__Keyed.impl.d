@@ -1,0 +1,1 @@
+lib/primitives/keyed.ml: Array Broadcast Hashtbl List Ln_congest Ln_graph Queue

@@ -1,0 +1,1 @@
+lib/primitives/keyed.mli: Ln_congest Ln_graph

@@ -1,0 +1,1 @@
+lib/primitives/tree_frags.ml: Array List Ln_graph Stack

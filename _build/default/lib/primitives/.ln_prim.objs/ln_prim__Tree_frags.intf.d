@@ -1,0 +1,1 @@
+lib/primitives/tree_frags.mli: Ln_graph

@@ -1,0 +1,52 @@
+module Graph = Ln_graph.Graph
+module Tree = Ln_graph.Tree
+module Engine = Ln_congest.Engine
+
+type state = { dist : int; parent_edge : int }
+
+type msg = Join of int (* sender's BFS distance *)
+
+let program root : (state, msg) Engine.program =
+  let open Engine in
+  {
+    name = "bfs-tree";
+    words = (fun (Join _) -> 1);
+    init =
+      (fun ctx ->
+        if ctx.me = root then
+          ( { dist = 0; parent_edge = -1 },
+            Array.to_list ctx.neighbors
+            |> List.map (fun (edge, _) -> { via = edge; msg = Join 0 }) )
+        else ({ dist = -1; parent_edge = -1 }, []));
+    step =
+      (fun ctx ~round:_ s inbox ->
+        if s.dist >= 0 then (s, [], false)
+        else begin
+          (* Adopt the smallest-id sender among this round's offers. *)
+          let best =
+            List.fold_left
+              (fun acc (r : msg received) ->
+                match acc with
+                | Some (b : msg received) when b.from <= r.from -> acc
+                | _ -> Some r)
+              None inbox
+          in
+          match best with
+          | None -> (s, [], false)
+          | Some r ->
+            let (Join d) = r.payload in
+            let s = { dist = d + 1; parent_edge = r.edge } in
+            let outs =
+              Array.to_list ctx.neighbors
+              |> List.filter (fun (edge, _) -> edge <> r.edge)
+              |> List.map (fun (edge, _) -> { via = edge; msg = Join s.dist })
+            in
+            (s, outs, false)
+        end);
+  }
+
+let tree g ~root =
+  let states, stats = Engine.run g (program root) in
+  let edges = ref [] in
+  Array.iter (fun s -> if s.parent_edge >= 0 then edges := s.parent_edge :: !edges) states;
+  (Tree.of_edges g ~root !edges, stats)

@@ -1,0 +1,11 @@
+(** Distributed BFS-tree construction (the tree [τ] every global
+    communication pattern in the paper is pipelined over).
+
+    A flood from the root; each node adopts the first sender as parent
+    (ties broken towards the smaller vertex id, deterministically).
+    Completes in [D + O(1)] rounds. *)
+
+(** [tree g ~root] runs the flood on the engine and returns the rooted
+    BFS tree together with engine statistics. *)
+val tree :
+  Ln_graph.Graph.t -> root:int -> Ln_graph.Tree.t * Ln_congest.Engine.stats

@@ -1,0 +1,42 @@
+(** Pipelined all-to-all broadcast over a rooted tree — Lemma 1 of the
+    paper: if every vertex [v] holds [m_v] messages of O(1) words with
+    [M = Σ m_v] total, all vertices receive all messages within
+    [O(M + D)] rounds.
+
+    Implemented natively on the engine as an upcast of every item to
+    the root (one item per tree edge per round, with per-subtree
+    completion detection) followed by a pipelined downcast. *)
+
+(** [all_to_all g ~tree ~items] returns per-vertex the list of all
+    items in the network (in unspecified order) and engine stats.
+    Items must fit in [words] machine words each (default 2, i.e. a
+    constant number of O(log n)-bit words; the engine's default cap
+    accommodates the one-word protocol overhead). *)
+val all_to_all :
+  ?word_cap:int ->
+  ?words:('a -> int) ->
+  Ln_graph.Graph.t ->
+  tree:Ln_graph.Tree.t ->
+  items:'a list array ->
+  'a list array * Ln_congest.Engine.stats
+
+(** [gather g ~tree ~items] — only the upcast: the root ends up with
+    all items; other vertices get []. Cheaper when only the root needs
+    the data (e.g. break-point filtering in Section 4). *)
+val gather :
+  ?word_cap:int ->
+  ?words:('a -> int) ->
+  Ln_graph.Graph.t ->
+  tree:Ln_graph.Tree.t ->
+  items:'a list array ->
+  'a list array * Ln_congest.Engine.stats
+
+(** [downcast g ~tree ~items] — only the downcast: the root's items are
+    delivered to every vertex. *)
+val downcast :
+  ?word_cap:int ->
+  ?words:('a -> int) ->
+  Ln_graph.Graph.t ->
+  tree:Ln_graph.Tree.t ->
+  items:'a list ->
+  'a list array * Ln_congest.Engine.stats

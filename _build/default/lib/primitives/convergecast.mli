@@ -1,0 +1,28 @@
+(** Tree aggregation (convergecast): every vertex holds a value of a
+    commutative semigroup; the root learns the combination of all of
+    them in [height(tree)] rounds, one O(1)-word message per tree edge.
+
+    Used for global sums/max (e.g. computing the MST weight [L] of
+    Section 5, termination checks, and fragment-internal aggregation
+    when run on a fragment's subtree). *)
+
+(** [aggregate g ~tree ~value ~combine] combines all [value v] bottom-up
+    and returns the root's total and engine stats. [words] bounds the
+    encoded size of a partial aggregate (default 2). *)
+val aggregate :
+  ?words:('a -> int) ->
+  Ln_graph.Graph.t ->
+  tree:Ln_graph.Tree.t ->
+  value:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a * Ln_congest.Engine.stats
+
+(** [aggregate_all g ~tree ...] additionally floods the root's total
+    back down so every vertex knows it; rounds ≈ 2·height. *)
+val aggregate_all :
+  ?words:('a -> int) ->
+  Ln_graph.Graph.t ->
+  tree:Ln_graph.Tree.t ->
+  value:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a * Ln_congest.Engine.stats

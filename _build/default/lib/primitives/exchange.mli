@@ -1,0 +1,26 @@
+(** One-round neighbourhood exchange: every vertex sends one O(1)-word
+    value over each incident edge and collects what its neighbours
+    sent. The workhorse for "each vertex learns the cluster/fragment id
+    of its neighbours" steps of Sections 5 and the MST construction. *)
+
+(** [ints g values] delivers [values.(v)] from [v] over each incident
+    edge; returns for every vertex the list of [(edge_id, received)]
+    pairs, and stats (always 1 round). *)
+val ints :
+  Ln_graph.Graph.t -> int array -> (int * int) list array * Ln_congest.Engine.stats
+
+(** [floats g values] — same with float payloads (e.g. distance
+    estimates for parent selection). *)
+val floats :
+  Ln_graph.Graph.t -> float array -> (int * float) list array * Ln_congest.Engine.stats
+
+(** [payloads ~words g values] — generic variant with a per-payload
+    word size and an optional edge filter (messages are sent only over
+    edges satisfying [edge_ok]). *)
+val payloads :
+  ?edge_ok:(int -> bool) ->
+  ?word_cap:int ->
+  words:('a -> int) ->
+  Ln_graph.Graph.t ->
+  'a array ->
+  (int * 'a) list array * Ln_congest.Engine.stats

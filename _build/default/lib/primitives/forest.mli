@@ -1,0 +1,49 @@
+(** Communication over a forest of rooted fragment trees.
+
+    The KP98-style MST construction leaves every vertex knowing which
+    of its incident edges belong to its fragment's internal tree; all
+    fragment-local computation in the paper (tour lengths, DFS
+    intervals, ABP marking, ...) is an up- or down-pass over this
+    forest, run in parallel in all fragments, costing (max fragment
+    hop-diameter) rounds. These helpers run such passes natively on the
+    engine. *)
+
+(** [orient g ~tree_edges ~is_root] floods from every root through the
+    forest edges; each vertex adopts the first sender as parent (ties
+    by smaller sender id). Returns [parent_edge] ([-1] at roots) and
+    stats. [tree_edges.(v)] lists [v]'s incident forest edge ids.
+    Vertices not reached from any root keep [-2]. *)
+val orient :
+  Ln_graph.Graph.t ->
+  tree_edges:int list array ->
+  is_root:(int -> bool) ->
+  int array * Ln_congest.Engine.stats
+
+(** [up g ~parent_edge ~tree_edges ~compute] — bottom-up pass: once a
+    vertex has received values from all its forest children it computes
+    [compute v (children_values)] (pairs of child vertex and value) and
+    forwards the result to its parent. Every vertex's computed value is
+    returned, along with the per-vertex children values (each vertex
+    legitimately knows what its children sent it — needed by the DFS
+    interval assignment of Section 3.3). Rounds = forest height. *)
+val up :
+  ?words:('a -> int) ->
+  Ln_graph.Graph.t ->
+  parent_edge:int array ->
+  tree_edges:int list array ->
+  compute:(int -> (int * 'a) list -> 'a) ->
+  'a array * (int * 'a) list array * Ln_congest.Engine.stats
+
+(** [down g ~parent_edge ~tree_edges ~seed ~emit] — top-down pass:
+    every root [r] starts with value [seed r]; a vertex holding value
+    [x] sends [emit v x child] to each forest child [child] (distinct
+    messages per child are fine — distinct edges). Returns each
+    vertex's received value ([None] if unreached). *)
+val down :
+  ?words:('a -> int) ->
+  Ln_graph.Graph.t ->
+  parent_edge:int array ->
+  tree_edges:int list array ->
+  seed:(int -> 'a option) ->
+  emit:(int -> 'a -> int -> 'a) ->
+  'a option array * Ln_congest.Engine.stats

@@ -1,0 +1,27 @@
+(** Keyed global aggregation with pipelining.
+
+    Every vertex holds candidate [(key, value)] pairs over a key space
+    of size [nkeys] (in Section 5 the keys are clusters and the values
+    are the [(m, s)] messages of the EN17b simulation). All vertices
+    must learn, for every key, the globally best value. Candidates are
+    upcast over the BFS tree with en-route combining — each tree edge
+    carries at most one O(1)-word pair per round, so the upcast takes
+    O(nkeys + D) rounds as in the paper's convergecast phase — and the
+    root's final table is then downcast with {!Broadcast.downcast}.
+
+    Protocol termination is detected by engine quiescence; an explicit
+    in-band termination detector would add O(D) rounds (noted in
+    DESIGN.md). *)
+
+(** [global_best g ~tree ~nkeys ~local ~better] returns the per-key
+    global best (or [None] for keys no vertex proposed) and combined
+    engine stats. [better a b] must be a strict order: [true] iff [a]
+    improves on [b]. *)
+val global_best :
+  ?value_words:int ->
+  Ln_graph.Graph.t ->
+  tree:Ln_graph.Tree.t ->
+  nkeys:int ->
+  local:(int -> (int * 'v) list) ->
+  better:('v -> 'v -> bool) ->
+  'v option array * Ln_congest.Engine.stats

@@ -1,0 +1,117 @@
+module Graph = Ln_graph.Graph
+
+type t = {
+  count : int;
+  frag_of : int array;
+  root_of : int array;
+  parent_frag : int array;
+  frag_parent_edge : int array;
+  internal_parent : int array;
+  tree_edges : int list array;
+  ext_children : (int * int) list array;
+}
+
+let decompose g ~parent_edge ~root ~target_size =
+  let n = Graph.n g in
+  let children = Array.make n [] in
+  for v = 0 to n - 1 do
+    if parent_edge.(v) >= 0 then begin
+      let p = Graph.other_end g parent_edge.(v) v in
+      children.(p) <- v :: children.(p)
+    end
+  done;
+  (* Post-order accumulation: cut when the pending component size
+     reaches the target. [cut.(v)] marks v as a fragment root. *)
+  let cut = Array.make n false in
+  cut.(root) <- true;
+  let pending = Array.make n 0 in
+  (* iterative post-order *)
+  let order = Array.make n 0 in
+  let idx = ref 0 in
+  let stack = Stack.create () in
+  Stack.push root stack;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    order.(!idx) <- v;
+    incr idx;
+    List.iter (fun c -> Stack.push c stack) children.(v)
+  done;
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    let size =
+      List.fold_left (fun acc c -> if cut.(c) then acc else acc + pending.(c)) 1 children.(v)
+    in
+    if size >= target_size && v <> root then begin
+      cut.(v) <- true;
+      pending.(v) <- size
+    end
+    else pending.(v) <- size
+  done;
+  (* Fragment of v = nearest cut ancestor (inclusive). Assign along the
+     preorder. *)
+  let frag_of = Array.make n (-1) in
+  let root_list = ref [] in
+  let count = ref 0 in
+  let frag_index = Array.make n (-1) in
+  (* frag_index: root vertex -> fragment id *)
+  for i = 0 to n - 1 do
+    let v = order.(i) in
+    if cut.(v) then begin
+      frag_index.(v) <- !count;
+      root_list := v :: !root_list;
+      frag_of.(v) <- !count;
+      incr count
+    end
+    else begin
+      let p = Graph.other_end g parent_edge.(v) v in
+      frag_of.(v) <- frag_of.(p)
+    end
+  done;
+  let root_of = Array.make !count (-1) in
+  List.iter (fun r -> root_of.(frag_index.(r)) <- r) !root_list;
+  let parent_frag = Array.make !count (-1) in
+  let frag_parent_edge = Array.make !count (-1) in
+  for f = 0 to !count - 1 do
+    let r = root_of.(f) in
+    if r <> root then begin
+      let e = parent_edge.(r) in
+      let p = Graph.other_end g e r in
+      parent_frag.(f) <- frag_of.(p);
+      frag_parent_edge.(f) <- e
+    end
+  done;
+  let internal_parent =
+    Array.init n (fun v ->
+        if parent_edge.(v) < 0 then -1
+        else begin
+          let p = Graph.other_end g parent_edge.(v) v in
+          if frag_of.(p) = frag_of.(v) then parent_edge.(v) else -1
+        end)
+  in
+  let tree_edges = Array.make n [] in
+  for v = 0 to n - 1 do
+    if internal_parent.(v) >= 0 then begin
+      let p = Graph.other_end g internal_parent.(v) v in
+      tree_edges.(v) <- internal_parent.(v) :: tree_edges.(v);
+      tree_edges.(p) <- internal_parent.(v) :: tree_edges.(p)
+    end
+  done;
+  let ext_children = Array.make n [] in
+  for f = 0 to !count - 1 do
+    let e = frag_parent_edge.(f) in
+    if e >= 0 then begin
+      let z = root_of.(f) in
+      let p = Graph.other_end g e z in
+      ext_children.(p) <- (z, e) :: ext_children.(p)
+    end
+  done;
+  {
+    count = !count;
+    frag_of;
+    root_of;
+    parent_frag;
+    frag_parent_edge;
+    internal_parent;
+    tree_edges;
+    ext_children;
+  }

@@ -1,0 +1,33 @@
+(** Fragment decomposition of an arbitrary rooted spanning tree into
+    O(√n) subtrees of O(√n) size — the structure Section 4.2 obtains by
+    "applying the first phase of the MST algorithm of [KP98]" to the
+    approximate shortest-path tree T_rt.
+
+    The decomposition itself is computed centrally and stands in for
+    that black-box invocation (charge O(√n) rounds — see DESIGN.md);
+    everything downstream (fragment-local up/down passes) runs natively
+    via {!Forest}. *)
+
+type t = {
+  count : int;
+  frag_of : int array;  (** vertex -> fragment *)
+  root_of : int array;  (** fragment -> its root vertex *)
+  parent_frag : int array;  (** fragment -> parent fragment (-1 at top) *)
+  frag_parent_edge : int array;
+      (** fragment -> tree edge from its root to the parent fragment *)
+  internal_parent : int array;
+      (** vertex -> parent edge if inside the same fragment, -1 at
+          fragment roots *)
+  tree_edges : int list array;
+      (** vertex -> incident intra-fragment tree edges *)
+  ext_children : (int * int) list array;
+      (** vertex -> (child fragment root, connecting edge) for child
+          fragments attached below this vertex *)
+}
+
+(** [decompose g ~parent_edge ~root ~target_size] cuts the rooted tree
+    given by [parent_edge] ([-1] at [root]) into fragments of size
+    ~[target_size] (subtree-accumulation cutting; size can exceed the
+    target by a degree factor, reported by callers' stats). *)
+val decompose :
+  Ln_graph.Graph.t -> parent_edge:int array -> root:int -> target_size:int -> t

@@ -1,0 +1,1 @@
+lib/slt/kry95.ml: Array Hashtbl Int List Ln_graph

@@ -1,0 +1,1 @@
+lib/slt/kry95.mli: Ln_graph

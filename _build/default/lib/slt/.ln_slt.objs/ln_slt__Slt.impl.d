@@ -1,0 +1,1 @@
+lib/slt/slt.ml: Array Float Hashtbl Int List Ln_aspt Ln_congest Ln_graph Ln_mst Ln_prim Ln_traversal

@@ -1,0 +1,1 @@
+lib/slt/slt.mli: Ln_congest Ln_graph Random

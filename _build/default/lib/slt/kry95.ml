@@ -1,0 +1,56 @@
+module Graph = Ln_graph.Graph
+module Tree = Ln_graph.Tree
+module Paths = Ln_graph.Paths
+module Mst_seq = Ln_graph.Mst_seq
+module Euler = Ln_graph.Euler
+
+type t = {
+  rt : int;
+  tree : Tree.t;
+  edges : int list;
+  h_edges : int list;
+  break_vertices : int list;
+}
+
+let build g ~rt ~epsilon =
+  if epsilon <= 0.0 then invalid_arg "Kry95.build: epsilon must be positive";
+  let mst = Mst_seq.kruskal g in
+  let tree = Tree.of_edges g ~root:rt mst in
+  let tour = Euler.of_tree tree in
+  let spt = Paths.dijkstra g rt in
+  (* Greedy break-point selection along the tour. *)
+  let breaks = ref [] in
+  let last_r = ref 0.0 in
+  let len = Euler.length tour in
+  for j = 1 to len - 1 do
+    let v = tour.Euler.seq.(j) in
+    let r = tour.Euler.time.(j) in
+    if r -. !last_r > epsilon *. spt.Paths.dist.(v) then begin
+      breaks := v :: !breaks;
+      last_r := r
+    end
+  done;
+  let break_vertices = List.sort_uniq Int.compare !breaks in
+  (* H = MST plus the exact shortest paths from rt to break points. *)
+  let h_edge_set = Hashtbl.create (2 * Graph.n g) in
+  List.iter (fun e -> Hashtbl.replace h_edge_set e ()) mst;
+  List.iter
+    (fun b ->
+      let rec splice v =
+        let e = spt.Paths.parent_edge.(v) in
+        if e >= 0 then begin
+          Hashtbl.replace h_edge_set e ();
+          splice (Graph.other_end g e v)
+        end
+      in
+      splice b)
+    break_vertices;
+  let h_edges = List.sort Int.compare (Hashtbl.fold (fun e () acc -> e :: acc) h_edge_set []) in
+  let edge_ok e = Hashtbl.mem h_edge_set e in
+  let final = Paths.dijkstra ~edge_ok g rt in
+  let slt_edges =
+    List.sort Int.compare
+      (Array.to_list final.Paths.parent_edge |> List.filter (fun e -> e >= 0))
+  in
+  let slt_tree = Tree.of_edges g ~root:rt slt_edges in
+  { rt; tree = slt_tree; edges = slt_edges; h_edges; break_vertices }

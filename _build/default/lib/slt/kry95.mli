@@ -1,0 +1,21 @@
+(** Sequential Shallow-Light Tree baseline — Khuller, Raghavachari &
+    Young (Algorithmica '95), the algorithm whose trade-off the paper's
+    distributed construction matches.
+
+    Walks the Euler tour of the MST keeping a running tour-distance
+    budget; whenever the budget since the last break point exceeds
+    ε · d_G(rt, current), the exact shortest path from rt is spliced
+    in. The SLT is the shortest-path tree of the resulting graph H.
+    Guarantees: stretch 1 + O(ε) from rt, lightness 1 + O(1/ε). *)
+
+type t = {
+  rt : int;
+  tree : Ln_graph.Tree.t;
+  edges : int list;
+  h_edges : int list;
+  break_vertices : int list;
+}
+
+(** [build g ~rt ~epsilon] — sequential (exact-Dijkstra) construction.
+    @raise Invalid_argument unless [epsilon > 0]. *)
+val build : Ln_graph.Graph.t -> rt:int -> epsilon:float -> t

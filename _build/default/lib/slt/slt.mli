@@ -1,0 +1,54 @@
+(** Shallow-Light Trees in the CONGEST model — Section 4 (Theorem 1).
+
+    An (α, β)-SLT rooted at rt is a spanning tree with
+    [d_T(rt, v) ≤ α · d_G(rt, v)] for every v, and weight
+    [≤ β · w(MST)].
+
+    [build ~epsilon] implements the paper's construction for
+    ε ∈ (0, 1]: a (1 + O(ε), 1 + O(1/ε))-SLT —
+    {ol
+    {- distributed MST + Euler tour L (Section 3);}
+    {- an (approximate) SPT T_rt ({!Ln_aspt.Hub_sssp}; ours is exact,
+       which only tightens the stretch);}
+    {- two-phase break-point selection on L: a native token scan run in
+       parallel in the √n-size intervals of L (set BP1), and a central
+       sparsification of the interval anchors BP′ at rt (set BP2),
+       anchors gathered/filtered/re-broadcast over the BFS tree;}
+    {- H = MST ∪ (T_rt-paths to break points), via the ABP subtree
+       marking of §4.2 over a fragment decomposition of T_rt;}
+    {- the final SLT: a second SPT computation restricted to H.}}
+
+    [build_light ~gamma] gives the inverse trade-off — lightness
+    [1 + γ] with stretch O(1/γ) — via the [BFN16] reweighting
+    reduction (Lemma 5): non-MST edges are scaled up by [1/δ] and the
+    base construction re-run. *)
+
+type t = {
+  rt : int;
+  tree : Ln_graph.Tree.t;  (** the SLT *)
+  edges : int list;  (** its edge ids *)
+  h_edges : int list;  (** the intermediate graph H *)
+  break_positions : int list;  (** chosen break points, as L-positions *)
+  stretch_bound : float;  (** the α this run promises *)
+  lightness_bound : float;  (** the β this run promises *)
+  ledger : Ln_congest.Ledger.t;
+}
+
+(** [build ~rng g ~rt ~epsilon] — the (1+O(ε), 1+O(1/ε)) regime.
+    [sparsify_anchors:false] disables the central BP2 filtering of the
+    interval anchors (every anchor becomes a break point) — the
+    ablation showing why §4.1's second phase exists: stretch is kept
+    but the lightness guarantee on H is lost.
+    @raise Invalid_argument unless [0 < epsilon <= 1]. *)
+val build :
+  ?sparsify_anchors:bool ->
+  rng:Random.State.t ->
+  Ln_graph.Graph.t ->
+  rt:int ->
+  epsilon:float ->
+  t
+
+(** [build_light ~rng g ~rt ~gamma] — lightness [1 + γ], stretch
+    O(1/γ), via the BFN16 reduction. @raise Invalid_argument unless
+    [0 < gamma <= 1]. *)
+val build_light : rng:Random.State.t -> Ln_graph.Graph.t -> rt:int -> gamma:float -> t

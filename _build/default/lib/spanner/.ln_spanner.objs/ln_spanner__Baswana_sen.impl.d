@@ -1,0 +1,1 @@
+lib/spanner/baswana_sen.ml: Array Float Fun Hashtbl Int List Ln_congest Ln_graph Ln_prim Random

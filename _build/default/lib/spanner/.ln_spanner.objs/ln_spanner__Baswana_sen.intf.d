@@ -1,0 +1,1 @@
+lib/spanner/baswana_sen.mli: Ln_graph Random

@@ -1,0 +1,1 @@
+lib/spanner/buckets.ml: Array Float Ln_graph Ln_traversal

@@ -1,0 +1,1 @@
+lib/spanner/buckets.mli: Ln_graph Ln_traversal

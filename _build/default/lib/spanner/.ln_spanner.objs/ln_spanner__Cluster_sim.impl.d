@@ -1,0 +1,1 @@
+lib/spanner/cluster_sim.ml: Array En17 Float Fun Hashtbl Int Intervals List Ln_congest Ln_graph Ln_prim Ln_traversal Random

@@ -1,0 +1,1 @@
+lib/spanner/cluster_sim.mli: Hashtbl Ln_congest Ln_graph Ln_traversal Random

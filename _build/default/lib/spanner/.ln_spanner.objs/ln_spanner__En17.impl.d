@@ -1,0 +1,1 @@
+lib/spanner/en17.ml: Array Float Fun Hashtbl Int List Random

@@ -1,0 +1,1 @@
+lib/spanner/en17.mli: Random

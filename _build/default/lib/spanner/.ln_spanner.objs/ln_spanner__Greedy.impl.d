@@ -1,0 +1,1 @@
+lib/spanner/greedy.ml: Array Hashtbl Int List Ln_graph

@@ -1,0 +1,1 @@
+lib/spanner/greedy.mli: Ln_graph

@@ -1,0 +1,1 @@
+lib/spanner/intervals.ml: Array Hashtbl List Ln_congest Ln_graph Ln_traversal

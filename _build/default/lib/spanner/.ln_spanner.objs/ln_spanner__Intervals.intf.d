@@ -1,0 +1,1 @@
+lib/spanner/intervals.mli: Ln_congest Ln_graph Ln_traversal

@@ -1,0 +1,1 @@
+lib/spanner/light_spanner.ml: Array Baswana_sen Buckets Cluster_sim Hashtbl Int List Ln_congest Ln_graph Ln_mst Ln_traversal

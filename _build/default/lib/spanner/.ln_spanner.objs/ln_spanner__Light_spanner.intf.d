@@ -1,0 +1,1 @@
+lib/spanner/light_spanner.mli: Ln_congest Ln_graph Random

@@ -1,0 +1,83 @@
+module Graph = Ln_graph.Graph
+module Tour_table = Ln_traversal.Tour_table
+
+type assignment =
+  | Global of { nclusters : int; cluster_of : int array }
+  | Interval of {
+      centers : bool array;
+      cluster_of : int array;
+      chosen_pos : int array;
+      max_interval : int;
+    }
+
+let classify ~l_total ~epsilon ~n w =
+  if w > l_total then `Heavy
+  else if w <= l_total /. float_of_int n then `Light
+  else begin
+    (* Largest i with w <= L/(1+eps)^i, i.e. i = floor(log_{1+eps} (L/w)). *)
+    let i = int_of_float (Float.log (l_total /. w) /. Float.log (1.0 +. epsilon)) in
+    let cap = int_of_float (Float.ceil (Float.log (float_of_int n) /. Float.log (1.0 +. epsilon))) in
+    `Bucket (min i cap)
+  end
+
+let bucket_count ~epsilon ~n =
+  1 + int_of_float (Float.ceil (Float.log (float_of_int n) /. Float.log (1.0 +. epsilon)))
+
+let bucket_width ~l_total ~epsilon i = l_total /. ((1.0 +. epsilon) ** float_of_int i)
+
+let case1_threshold ~epsilon ~k ~n =
+  (* i < log_{1+eps} (eps * n^{k/(2k+1)}) *)
+  let expn = float_of_int k /. float_of_int ((2 * k) + 1) in
+  Float.log (epsilon *. (float_of_int n ** expn)) /. Float.log (1.0 +. epsilon)
+
+let assign g ~tt ~l_total ~epsilon ~k ~i =
+  let n = Graph.n g in
+  let wi = bucket_width ~l_total ~epsilon i in
+  let cell = epsilon *. wi in
+  if float_of_int i < case1_threshold ~epsilon ~k ~n then begin
+    let nclusters = int_of_float (Float.ceil (l_total /. cell)) + 2 in
+    let cluster_of =
+      Array.init n (fun v ->
+          match tt.Tour_table.positions_of.(v) with
+          | j :: _ -> int_of_float (Float.ceil (tt.Tour_table.time_of.(j) /. cell))
+          | [] -> 0)
+    in
+    Global { nclusters; cluster_of }
+  end
+  else begin
+    let len = tt.Tour_table.len in
+    let q =
+      max 1
+        (int_of_float
+           (Float.ceil (epsilon *. float_of_int n /. ((1.0 +. epsilon) ** float_of_int i))))
+    in
+    let centers = Array.make len false in
+    if len > 0 then centers.(0) <- true;
+    for j = 1 to len - 1 do
+      let r_prev = tt.Tour_table.time_of.(j - 1) and r = tt.Tour_table.time_of.(j) in
+      (* condition 1: R crosses a multiple of cell *)
+      let crosses = Float.floor (r /. cell) > Float.floor ((r_prev +. 1e-12) /. cell)
+                    || Float.rem r cell = 0.0 in
+      (* condition 2: index multiple of q *)
+      if crosses || j mod q = 0 then centers.(j) <- true
+    done;
+    (* Nearest center at or left of each position. *)
+    let center_left = Array.make len 0 in
+    let cur = ref 0 in
+    for j = 0 to len - 1 do
+      if centers.(j) then cur := j;
+      center_left.(j) <- !cur
+    done;
+    let chosen_pos =
+      Array.init n (fun v ->
+          match tt.Tour_table.positions_of.(v) with j :: _ -> j | [] -> 0)
+    in
+    let cluster_of = Array.map (fun j -> center_left.(j)) chosen_pos in
+    let max_interval = ref 1 in
+    let run = ref 0 in
+    for j = 0 to len - 1 do
+      if centers.(j) then run := 1 else incr run;
+      if !run > !max_interval then max_interval := !run
+    done;
+    Interval { centers; cluster_of; chosen_pos; max_interval = !max_interval }
+  end

@@ -1,0 +1,48 @@
+(** Weight bucketing and tour-based clustering for Section 5.
+
+    With L = 2·w(MST): the light bucket E′ holds edges of weight
+    ≤ L/n (handled by Baswana–Sen); bucket i ∈ {0..⌈log_{1+ε} n⌉}
+    holds weights in (L/(1+ε)^{i+1}, L/(1+ε)^i]; heavier edges are
+    already 1-stretched by the MST. For bucket i the vertex set is
+    partitioned into clusters of weak diameter ε·w_i using the Euler
+    tour:
+
+    - {b case 1} (few clusters, i < log_{1+ε}(ε·n^{k/(2k+1)})): the
+      cluster of v is ⌈R_x/(ε·w_i)⌉ for an arbitrary appearance x of v
+      — all coordination is global (BFS-tree aggregation);
+    - {b case 2}: cluster centers are the tour positions where R
+      crosses a multiple of ε·w_i or the index crosses a multiple of
+      ⌈ε·n/(1+ε)^i⌉, giving communication intervals of bounded hop
+      length; the cluster of v is the nearest center left of its
+      chosen appearance. *)
+
+type assignment =
+  | Global of { nclusters : int; cluster_of : int array }
+  | Interval of {
+      centers : bool array;  (** per position *)
+      cluster_of : int array;  (** vertex -> its center's position *)
+      chosen_pos : int array;  (** vertex -> the appearance that chose *)
+      max_interval : int;  (** longest communication interval *)
+    }
+
+(** Which bucket an edge weight falls into. *)
+val classify : l_total:float -> epsilon:float -> n:int -> float ->
+  [ `Light | `Bucket of int | `Heavy ]
+
+(** Number of buckets: ⌈log_{1+ε} n⌉ + 1. *)
+val bucket_count : epsilon:float -> n:int -> int
+
+(** Upper edge-weight w_i of bucket [i]. *)
+val bucket_width : l_total:float -> epsilon:float -> int -> float
+
+(** [assign g ~tt ~l_total ~epsilon ~k ~i] — the clustering for bucket
+    [i], choosing case 1 or case 2 by the paper's threshold. The weak
+    diameter of every cluster is ≤ ε·w_i (checked by the test-suite). *)
+val assign :
+  Ln_graph.Graph.t ->
+  tt:Ln_traversal.Tour_table.t ->
+  l_total:float ->
+  epsilon:float ->
+  k:int ->
+  i:int ->
+  assignment

@@ -1,0 +1,228 @@
+module Graph = Ln_graph.Graph
+module Tree = Ln_graph.Tree
+module Engine = Ln_congest.Engine
+module Ledger = Ln_congest.Ledger
+module Broadcast = Ln_prim.Broadcast
+module Keyed = Ln_prim.Keyed
+module Exchange = Ln_prim.Exchange
+module Tour_table = Ln_traversal.Tour_table
+
+(* (m, s) ordering, shared with En17: larger m, ties to smaller s. *)
+let better_ms (m1, s1) (m2, s2) = m1 > m2 || (m1 = m2 && s1 < s2)
+
+(* Representative ordering, shared with En17.rep_better: the qualifier
+   with the largest m wins (ties to the smallest (cluster, edge)). *)
+let rep_better (m1, b1, e1) (m2, b2, e2) =
+  m1 > m2 || (m1 = m2 && (b1, e1) < (b2, e2))
+
+(* ------------------------------------------------------------------ *)
+(* Case 1: global aggregation over the BFS tree.                       *)
+
+let case1 ?r ~rng g ~bfs ~k ~nclusters ~cluster_of ~in_bucket ledger =
+  let n = Graph.n g in
+  let r =
+    match r with Some r -> r | None -> En17.draw_r ~rng ~k nclusters
+  in
+  (* rt samples r_A for every cluster and broadcasts the values. *)
+  let occupied = Array.make nclusters false in
+  Array.iter (fun c -> occupied.(c) <- true) cluster_of;
+  let r_items =
+    List.init nclusters Fun.id
+    |> List.filter (fun c -> occupied.(c))
+    |> List.map (fun c -> (c, r.(c)))
+  in
+  let _, st_r = Broadcast.downcast ~words:(fun _ -> 3) g ~tree:bfs ~items:r_items in
+  Ledger.native ledger ~label:"case1/r-broadcast" st_r.Engine.rounds;
+  (* Every vertex learns its neighbours' clusters, once. *)
+  let nbr_cluster, st_x = Exchange.ints g cluster_of in
+  Ledger.native ledger ~label:"case1/cluster-exchange" st_x.Engine.rounds;
+  (* Global EN17b state, known to all vertices after each round. *)
+  let m = Array.make nclusters neg_infinity in
+  let s = Array.make nclusters (-1) in
+  for c = 0 to nclusters - 1 do
+    if occupied.(c) then begin
+      m.(c) <- r.(c);
+      s.(c) <- c
+    end
+  done;
+  for _round = 1 to k do
+    let local v =
+      let a = cluster_of.(v) in
+      let best = ref None in
+      List.iter
+        (fun (e, b) ->
+          if in_bucket e && b <> a && occupied.(b) then begin
+            let cand = (m.(b) -. 1.0, s.(b)) in
+            match !best with
+            | Some cur when not (better_ms cand cur) -> ()
+            | _ -> best := Some cand
+          end)
+        nbr_cluster.(v);
+      match !best with Some c -> [ (a, c) ] | None -> []
+    in
+    let table, st =
+      Keyed.global_best ~value_words:3 g ~tree:bfs ~nkeys:nclusters ~local
+        ~better:better_ms
+    in
+    Ledger.native ledger ~label:"case1/round-aggregate" st.Engine.rounds;
+    Array.iteri
+      (fun a cand ->
+        match cand with
+        | Some ((cm, cs) as c) when occupied.(a) ->
+          if better_ms c (m.(a), s.(a)) then begin
+            m.(a) <- cm;
+            s.(a) <- cs
+          end
+        | _ -> ())
+      table
+  done;
+  (* Edge selection: one representative per (cluster, source), dedup
+     en route via composite keys. *)
+  let local v =
+    let a = cluster_of.(v) in
+    let per_source = Hashtbl.create 4 in
+    List.iter
+      (fun (e, b) ->
+        if in_bucket e && b <> a && occupied.(b) && m.(b) >= m.(a) -. 1.0 then begin
+          let y = s.(b) in
+          let cand = (m.(b), b, e) in
+          match Hashtbl.find_opt per_source y with
+          | Some cur when not (rep_better cand cur) -> ()
+          | _ -> Hashtbl.replace per_source y cand
+        end)
+      nbr_cluster.(v);
+    Hashtbl.fold (fun y cand acc -> ((a * nclusters) + y, cand) :: acc) per_source []
+  in
+  let table, st =
+    Keyed.global_best ~value_words:4 g ~tree:bfs ~nkeys:(nclusters * nclusters) ~local
+      ~better:rep_better
+  in
+  Ledger.native ledger ~label:"case1/edge-select" st.Engine.rounds;
+  let chosen = ref [] in
+  Array.iter
+    (function Some (_, _, e) -> chosen := e :: !chosen | None -> ())
+    table;
+  ignore n;
+  List.sort_uniq Int.compare !chosen
+
+(* ------------------------------------------------------------------ *)
+(* Case 2: interval-local coordination.                                *)
+
+let case2 ?r ~rng g ~tt ~k ~centers ~cluster_of ~chosen_pos ~in_bucket ledger =
+  let n = Graph.n g in
+  let len = tt.Tour_table.len in
+  let is_center j = centers.(j) in
+  (* Each center samples its own radius locally. *)
+  let center_list = ref [] in
+  for j = len - 1 downto 0 do
+    if centers.(j) then center_list := j :: !center_list
+  done;
+  let ncenters = List.length !center_list in
+  let beta = Float.log (float_of_int (max ncenters 2)) /. float_of_int k in
+  let r_of = Hashtbl.create ncenters in
+  List.iter
+    (fun j ->
+      let v =
+        match r with
+        | Some tbl -> (match Hashtbl.find_opt tbl j with Some x -> x | None -> 0.0)
+        | None ->
+          let u = Random.State.float rng 1.0 in
+          Float.min (-.Float.log (1.0 -. u) /. beta) (float_of_int k -. 1e-9)
+      in
+      Hashtbl.replace r_of j v)
+    !center_list;
+  (* Per-vertex current knowledge of its own cluster's (m, s). *)
+  let my_m = Array.make n neg_infinity in
+  let my_s = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    let a = cluster_of.(v) in
+    my_m.(v) <- Hashtbl.find r_of a;
+    my_s.(v) <- a
+  done;
+  for _round = 1 to k do
+    (* Neighbours tell each other their cluster's (cluster, m, s). *)
+    let payload = Array.init n (fun v -> (cluster_of.(v), my_m.(v), my_s.(v))) in
+    let tables, st_x =
+      Exchange.payloads ~edge_ok:in_bucket ~words:(fun _ -> 3) g payload
+    in
+    Ledger.native ledger ~label:"case2/nbr-exchange" st_x.Engine.rounds;
+    (* Each member's local candidate, attached at its chosen position;
+       interval aggregation computes the cluster-wide max. *)
+    let cand = Array.make n None in
+    for v = 0 to n - 1 do
+      let a = cluster_of.(v) in
+      List.iter
+        (fun (e, (b, mb, sb)) ->
+          if in_bucket e && b <> a then begin
+            let c = (mb -. 1.0, sb) in
+            match cand.(v) with
+            | Some cur when not (better_ms c cur) -> ()
+            | _ -> cand.(v) <- Some c
+          end)
+        tables.(v)
+    done;
+    let pos_value = Array.make len None in
+    for v = 0 to n - 1 do
+      pos_value.(chosen_pos.(v)) <- cand.(v)
+    done;
+    let agg, st_a =
+      Intervals.aggregate ~value_words:3 g ~tt ~is_center
+        ~value:(fun j -> pos_value.(j))
+        ~combine:(fun a b -> if better_ms a b then a else b)
+    in
+    Ledger.native ledger ~label:"case2/interval-aggregate" st_a.Engine.rounds;
+    for v = 0 to n - 1 do
+      match agg.(chosen_pos.(v)) with
+      | Some ((cm, cs) as c) ->
+        if better_ms c (my_m.(v), my_s.(v)) then begin
+          my_m.(v) <- cm;
+          my_s.(v) <- cs
+        end
+      | None -> ()
+    done
+  done;
+  (* Edge selection: members push qualifying candidates to their
+     centers, which deduplicate per source. *)
+  let payload = Array.init n (fun v -> (cluster_of.(v), my_m.(v), my_s.(v))) in
+  let tables, st_x =
+    Exchange.payloads ~edge_ok:in_bucket ~words:(fun _ -> 3) g payload
+  in
+  Ledger.native ledger ~label:"case2/final-exchange" st_x.Engine.rounds;
+  let cands = Array.make n [] in
+  for v = 0 to n - 1 do
+    let a = cluster_of.(v) in
+    let per_source = Hashtbl.create 4 in
+    List.iter
+      (fun (e, (b, mb, sb)) ->
+        if in_bucket e && b <> a && mb >= my_m.(v) -. 1.0 then begin
+          let cand = (mb, b, e) in
+          match Hashtbl.find_opt per_source sb with
+          | Some cur when not (rep_better cand cur) -> ()
+          | _ -> Hashtbl.replace per_source sb cand
+        end)
+      tables.(v);
+    cands.(v) <- Hashtbl.fold (fun y (mb, b, e) acc -> (y, mb, b, e) :: acc) per_source []
+  done;
+  let pos_items = Array.make len [] in
+  for v = 0 to n - 1 do
+    pos_items.(chosen_pos.(v)) <- cands.(v)
+  done;
+  let collected, st_g =
+    Intervals.gather ~value_words:4 g ~tt ~is_center ~items:(fun j -> pos_items.(j))
+  in
+  Ledger.native ledger ~label:"case2/edge-gather" st_g.Engine.rounds;
+  let chosen = ref [] in
+  Array.iteri
+    (fun j items ->
+      if centers.(j) then begin
+        let per_source = Hashtbl.create 8 in
+        List.iter
+          (fun (y, mb, b, e) ->
+            match Hashtbl.find_opt per_source y with
+            | Some cur when not (rep_better (mb, b, e) cur) -> ()
+            | _ -> Hashtbl.replace per_source y (mb, b, e))
+          items;
+        Hashtbl.iter (fun _ (_, _, e) -> chosen := e :: !chosen) per_source
+      end)
+    collected;
+  List.sort_uniq Int.compare !chosen

@@ -1,0 +1,51 @@
+(** Distributed simulation of the [EN17b] unweighted spanner on the
+    cluster graphs G_i of Section 5 — the paper's main technical step.
+
+    Both cases run the same k max-propagation rounds as {!En17} (and,
+    given the same exponential draws [r], produce the same cluster-
+    graph spanner — the test-suite checks this against the reference):
+
+    - {b case 1}: the per-cluster maxima are computed by keyed
+      aggregation over the BFS tree and the resulting table broadcast,
+      O(|C_i| + D) rounds per EN17b round; the final edge-selection
+      convergecasts one candidate per (cluster, source) pair with
+      en-route deduplication, O(|H_i| + D) rounds.
+
+    - {b case 2}: all coordination happens inside the communication
+      intervals of L ({!Intervals}), O(max interval) rounds per EN17b
+      round, all intervals in parallel; edge selection is a pipelined
+      interval gather with deduplication at the centers.
+
+    Returned edges are concrete G-edge ids (the representative
+    (a, b) ∈ A×B ∩ E_i chosen for each cluster-graph edge). *)
+
+(** [case1 ~rng g ~bfs ~k ~nclusters ~cluster_of ~in_bucket ledger]
+    simulates EN17b globally. [r] fixes the exponential draws (for
+    cross-checking against the reference); fresh draws otherwise. *)
+val case1 :
+  ?r:float array ->
+  rng:Random.State.t ->
+  Ln_graph.Graph.t ->
+  bfs:Ln_graph.Tree.t ->
+  k:int ->
+  nclusters:int ->
+  cluster_of:int array ->
+  in_bucket:(int -> bool) ->
+  Ln_congest.Ledger.t ->
+  int list
+
+(** [case2 ~rng g ~tt ~k ~centers ~cluster_of ~chosen_pos ~in_bucket
+    ledger] simulates EN17b inside the communication intervals.
+    [r] optionally fixes the draw for each center position. *)
+val case2 :
+  ?r:(int, float) Hashtbl.t ->
+  rng:Random.State.t ->
+  Ln_graph.Graph.t ->
+  tt:Ln_traversal.Tour_table.t ->
+  k:int ->
+  centers:bool array ->
+  cluster_of:int array ->
+  chosen_pos:int array ->
+  in_bucket:(int -> bool) ->
+  Ln_congest.Ledger.t ->
+  int list

@@ -1,0 +1,65 @@
+type graph = { nv : int; adj : (int * int) list array }
+
+let draw_r ~rng ~k n =
+  let beta = Float.log (float_of_int (max n 2)) /. float_of_int k in
+  Array.init n (fun _ ->
+      let u = Random.State.float rng 1.0 in
+      let r = -.Float.log (1.0 -. u) /. beta in
+      Float.min r (float_of_int k -. 1e-9))
+
+type state = { m : float array; s : int array }
+
+let init_state r = { m = Array.copy r; s = Array.init (Array.length r) Fun.id }
+
+(* (m, s) ordering: larger m wins; ties towards the smaller source. *)
+let better m1 s1 m2 s2 = m1 > m2 || (m1 = m2 && s1 < s2)
+
+let step g st =
+  let m' = Array.copy st.m in
+  let s' = Array.copy st.s in
+  for x = 0 to g.nv - 1 do
+    List.iter
+      (fun (v, _) ->
+        let cand_m = st.m.(v) -. 1.0 and cand_s = st.s.(v) in
+        if better cand_m cand_s m'.(x) s'.(x) then begin
+          m'.(x) <- cand_m;
+          s'.(x) <- cand_s
+        end)
+      g.adj.(x)
+  done;
+  { m = m'; s = s' }
+
+(* Per-source representative choice: the qualifying neighbour with the
+   LARGEST m (ties towards the smallest (neighbour, label) pair). The
+   maximal-m choice is what makes cluster paths strictly ascend towards
+   their source, giving the deterministic 2k-1 stretch; picking an
+   arbitrary qualifier can cycle among equidistant vertices. *)
+let rep_better (m1, v1, l1) (m2, v2, l2) =
+  m1 > m2 || (m1 = m2 && (v1, l1) < (v2, l2))
+
+let edges g ~state =
+  let acc = ref [] in
+  for x = 0 to g.nv - 1 do
+    let per_source = Hashtbl.create 8 in
+    List.iter
+      (fun (v, lbl) ->
+        if state.m.(v) >= state.m.(x) -. 1.0 then begin
+          let y = state.s.(v) in
+          let cand = (state.m.(v), v, lbl) in
+          match Hashtbl.find_opt per_source y with
+          | Some cur when not (rep_better cand cur) -> ()
+          | _ -> Hashtbl.replace per_source y cand
+        end)
+      g.adj.(x);
+    Hashtbl.iter (fun _ (_, v, lbl) -> acc := (x, v, lbl) :: !acc) per_source
+  done;
+  !acc
+
+let spanner ~rng ~k g =
+  let r = draw_r ~rng ~k g.nv in
+  let st = ref (init_state r) in
+  for _ = 1 to k do
+    st := step g !st
+  done;
+  let chosen = edges g ~state:!st in
+  List.sort_uniq Int.compare (List.map (fun (_, _, lbl) -> lbl) chosen)

@@ -1,0 +1,49 @@
+(** The Elkin–Neiman spanner for unweighted graphs [EN17b] — the
+    engine behind every weight bucket of the Section-5 construction.
+
+    Every vertex x draws r(x) ~ Exp(β) (clamped below k); the values
+    m(x) = max_v (r(v) − d(v, x)) are computed by k rounds of
+    max-propagation with unit decay; finally x keeps, for
+    every distinct source y carried by a neighbour v with
+    m(v) ≥ m(x) − 1, one edge towards such a neighbour. Stretch 2k−1 is
+    deterministic given r < k; the expected size is O(n^{1+1/k}).
+
+    This module gives the *reference implementation* on an abstract
+    unweighted graph, exposed round-by-round so that the distributed
+    cluster-graph simulations of Section 5 (cases 1 and 2) can be
+    checked against it state-for-state: given the same exponential
+    draws, all three produce the same spanner. Deterministic
+    tie-breaks: larger (m, then smaller source id) wins propagation;
+    the representative edge per (vertex, source) is the smallest
+    (neighbour, edge) pair. *)
+
+type graph = {
+  nv : int;  (** number of vertices *)
+  adj : (int * int) list array;
+      (** adjacency: (neighbour, edge label); labels are echoed back in
+          the output so cluster graphs can recover concrete G-edges *)
+}
+
+(** [draw_r ~rng ~k n] samples the exponential radii: r(x) ~ Exp(β)
+    with β = ln n / k, clamped to k − 1e-9 (the paper conditions on
+    r < k). *)
+val draw_r : rng:Random.State.t -> k:int -> int -> float array
+
+(** Propagation state after some number of rounds: [m] and [s] per
+    vertex. *)
+type state = { m : float array; s : int array }
+
+val init_state : float array -> state
+
+(** One synchronous round: every vertex takes the max of its own (m,s)
+    and (m(v)−1, s(v)) over neighbours v. *)
+val step : graph -> state -> state
+
+(** [edges g ~state] — the final edge-selection rule: for every vertex
+    x and distinct source y carried by a qualifying neighbour
+    (m(v) ≥ m(x) − 1), one (x, neighbour, edge-label) triple. *)
+val edges : graph -> state:state -> (int * int * int) list
+
+(** [spanner ~rng ~k g] — the whole algorithm; returns chosen edge
+    labels (deduplicated, sorted). *)
+val spanner : rng:Random.State.t -> k:int -> graph -> int list

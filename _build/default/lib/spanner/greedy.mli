@@ -1,0 +1,13 @@
+(** The sequential greedy spanner [ADD+93] — the baseline the paper's
+    Table-1 spanner is compared against (and, by [FS16], an
+    existentially optimal construction: O(n^{1+1/k}) edges and
+    O(n^{1/k}) lightness for stretch 2k-1).
+
+    Edges are scanned in nondecreasing weight order (ties by id); an
+    edge is kept iff the spanner built so far does not already provide
+    a path of length ≤ t·w(e). *)
+
+(** [build g ~stretch] returns the greedy [stretch]-spanner's edge ids
+    (sorted). The MST is always a subset of the result.
+    @raise Invalid_argument if [stretch < 1]. *)
+val build : Ln_graph.Graph.t -> stretch:float -> int list

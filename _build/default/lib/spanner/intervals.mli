@@ -1,0 +1,39 @@
+(** Communication along intervals of the Euler tour L — the case-2
+    machinery of Section 5, where clusters are too numerous for global
+    aggregation and all coordination happens inside bounded
+    *communication intervals* of L, in parallel, over MST edges.
+
+    Positions of L are partitioned into intervals by a set of centers
+    (an interval runs from one center up to just before the next).
+    Because every directed traversal of an MST edge occurs exactly once
+    in L, sweeps towards lower positions and sweeps towards higher
+    positions use disjoint directed edges, so all intervals operate
+    concurrently without violating the one-message-per-edge-direction
+    rule (the engine enforces this).
+
+    Rounds: O(max interval hop length) for [aggregate]; O(interval
+    length + items per interval) for [gather]. *)
+
+(** [aggregate g ~tt ~is_center ~value ~combine] — every interval
+    combines the [value]s of its positions (right-to-left sweep into
+    the center, then a left-to-right sweep distributing the result).
+    Returns, per position, the interval's combined value. *)
+val aggregate :
+  ?value_words:int ->
+  Ln_graph.Graph.t ->
+  tt:Ln_traversal.Tour_table.t ->
+  is_center:(int -> bool) ->
+  value:(int -> 'a option) ->
+  combine:('a -> 'a -> 'a) ->
+  'a option array * Ln_congest.Engine.stats
+
+(** [gather g ~tt ~is_center ~items] — pipelined collection of each
+    position's items at its interval's center. Returns, per *center
+    position*, everything collected (own items included). *)
+val gather :
+  ?value_words:int ->
+  Ln_graph.Graph.t ->
+  tt:Ln_traversal.Tour_table.t ->
+  is_center:(int -> bool) ->
+  items:(int -> 'b list) ->
+  'b list array * Ln_congest.Engine.stats

@@ -1,0 +1,28 @@
+(** The paper's headline result (Theorem 2): a (2k−1)(1+ε)-spanner
+    with O(k·n^{1+1/k}) edges and O(k·n^{1/k}) lightness, built in
+    Õ(n^{1/2 + 1/(4k+2)} + D) rounds of the CONGEST model.
+
+    Pipeline: distributed MST + Euler tour (Section 3); Baswana–Sen on
+    the light bucket E′; for every weight bucket E_i, a tour-based
+    clustering of weak diameter ε·w_i and a distributed simulation of
+    the EN17b spanner on the cluster graph G_i ({!Cluster_sim}, case 1
+    or 2 chosen by the paper's threshold); the spanner is the union of
+    the MST, the E′ spanner, and one representative G-edge per chosen
+    cluster-graph edge. *)
+
+type t = {
+  edges : int list;  (** spanner edge ids (MST included), sorted *)
+  k : int;
+  epsilon : float;
+  stretch_bound : float;  (** (2k−1)(1+c·ε) promised stretch *)
+  light_bucket_edges : int;  (** edges contributed by Baswana–Sen *)
+  bucket_edges : int;  (** edges contributed by the cluster graphs *)
+  buckets_case1 : int;
+  buckets_case2 : int;
+  ledger : Ln_congest.Ledger.t;
+}
+
+(** [build ~rng g ~k ~epsilon] — the full Section-5 construction.
+    @raise Invalid_argument unless [k >= 1] and [0 < epsilon < 1]. *)
+val build :
+  rng:Random.State.t -> Ln_graph.Graph.t -> k:int -> epsilon:float -> t

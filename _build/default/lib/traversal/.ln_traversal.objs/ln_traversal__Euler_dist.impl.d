@@ -1,0 +1,1 @@
+lib/traversal/euler_dist.ml: Array Float Int List Ln_congest Ln_graph Ln_mst Ln_prim

@@ -1,0 +1,1 @@
+lib/traversal/euler_dist.mli: Ln_mst

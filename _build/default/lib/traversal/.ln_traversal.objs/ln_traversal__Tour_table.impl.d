@@ -1,0 +1,1 @@
+lib/traversal/tour_table.ml: Array Euler_dist List Ln_graph Ln_mst

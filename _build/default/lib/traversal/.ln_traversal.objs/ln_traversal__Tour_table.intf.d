@@ -1,0 +1,1 @@
+lib/traversal/tour_table.mli: Euler_dist Ln_graph

@@ -1,0 +1,35 @@
+(** Distributed Eulerian tour of the MST — Section 3 of the paper
+    (Lemma 2): in Õ(√n + D) rounds every vertex learns all of its
+    appearances in the DFS traversal L of the MST, both as weighted
+    visiting times [R_x] and as integer tour indices.
+
+    Pipeline (all phases native on the engine):
+    {ol
+    {- local tour lengths ℓ(v): up-pass inside every base fragment
+       (§3.2);}
+    {- the fragment roots' ℓ(r_i) are broadcast (Lemma 1) and every
+       vertex locally derives the global lengths g(r_i) from T′;}
+    {- global lengths g(v): a second fragment-local up-pass;}
+    {- local DFS intervals: fragment-local down-pass (§3.3), plus one
+       round across external edges delivering each fragment root its
+       interval within the parent fragment;}
+    {- interval shifts s_i: roots' offsets are gathered at rt, combined
+       there, and the per-fragment shifts broadcast back.}}
+
+    Children are visited in increasing vertex-id order, so the result
+    coincides exactly with {!Ln_graph.Euler.of_tree} of the same rooted
+    MST — the test-suite checks equality of every appearance. *)
+
+type t = {
+  rt : int;
+  rooted : Ln_mst.Dist_mst.rooted;
+  appearances : (int * float) list array;
+      (** per vertex, ordered: (tour index, visiting time [R_x]) *)
+  interval : (float * float) array;  (** global DFS interval of v *)
+  g_value : float array;  (** g(v): tour length of v's subtree *)
+  total : float;  (** tour length = 2 w(MST) *)
+}
+
+(** [run dist ~rt] computes the tour; all phase round-counts are
+    appended to [dist.ledger]. *)
+val run : Ln_mst.Dist_mst.t -> rt:int -> t

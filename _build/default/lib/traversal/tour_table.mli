@@ -1,0 +1,18 @@
+(** Position-indexed view of the distributed Euler tour.
+
+    [Euler_dist] leaves each vertex knowing its own appearances; this
+    assembles the position-to-(vertex, time, forwarding edge) tables
+    that the token-scan and interval protocols of Sections 4 and 5 use.
+    Every entry is the local knowledge of the vertex holding that
+    position (vertex [vertex_of.(j)] knows [time_of.(j)] and
+    [next_edge.(j)]). *)
+
+type t = {
+  len : int;  (** 2n - 1 *)
+  vertex_of : int array;  (** position -> vertex *)
+  time_of : float array;  (** position -> weighted visiting time R *)
+  next_edge : int array;  (** position j -> MST edge towards j+1; -1 at the end *)
+  positions_of : int list array;  (** vertex -> its positions, increasing *)
+}
+
+val make : Ln_graph.Graph.t -> Euler_dist.t -> t

@@ -1,0 +1,1 @@
+test/test_aspt.ml: Alcotest Array Float Fun Hashtbl List Ln_aspt Ln_congest Ln_graph Ln_prim QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Array Float Fun Int List Ln_congest Ln_graph Ln_prim Printf QCheck2 QCheck_alcotest Random String

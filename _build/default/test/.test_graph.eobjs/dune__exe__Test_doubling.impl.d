@@ -1,0 +1,1 @@
+test/test_doubling.ml: Alcotest Float List Ln_congest Ln_doubling Ln_estimate Ln_graph Ln_prim QCheck2 QCheck_alcotest Random

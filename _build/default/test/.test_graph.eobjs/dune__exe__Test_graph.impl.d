@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Filename Float Fun Int List Ln_graph Printf QCheck2 QCheck_alcotest Random Sys

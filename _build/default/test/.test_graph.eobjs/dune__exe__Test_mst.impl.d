@@ -1,0 +1,1 @@
+test/test_mst.ml: Alcotest Array Float Int List Ln_congest Ln_graph Ln_mst Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_nets.ml: Alcotest Array Float Fun List Ln_congest Ln_graph Ln_nets Ln_prim QCheck2 QCheck_alcotest Random

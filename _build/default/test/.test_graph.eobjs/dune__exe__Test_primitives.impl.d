@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Array Float Fun Hashtbl List Ln_congest Ln_graph Ln_mst Ln_prim Ln_spanner Ln_traversal Option QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_slt.ml: Alcotest Array Int List Ln_congest Ln_graph Ln_slt QCheck2 QCheck_alcotest Random String

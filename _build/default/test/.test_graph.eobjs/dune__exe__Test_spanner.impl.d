@@ -1,0 +1,1 @@
+test/test_spanner.ml: Alcotest Array Hashtbl Int List Ln_congest Ln_graph Ln_mst Ln_spanner Ln_traversal QCheck2 QCheck_alcotest Queue Random String

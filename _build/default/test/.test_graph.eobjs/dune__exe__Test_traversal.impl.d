@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Array Float List Ln_congest Ln_graph Ln_mst Ln_traversal QCheck2 QCheck_alcotest Random

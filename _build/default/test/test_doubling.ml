@@ -1,0 +1,112 @@
+(* Tests for Section 7 (doubling spanners) and Section 8 (the MST
+   weight estimator built on the net hierarchy). *)
+
+module Graph = Ln_graph.Graph
+module Gen = Ln_graph.Gen
+module Stats = Ln_graph.Stats
+module Metric = Ln_graph.Metric
+module Mst_seq = Ln_graph.Mst_seq
+module Ledger = Ln_congest.Ledger
+module Bfs = Ln_prim.Bfs
+module Doubling_spanner = Ln_doubling.Doubling_spanner
+module Mst_weight = Ln_estimate.Mst_weight
+
+let check = Alcotest.(check bool)
+
+let geometric ~seed ~n ~radius =
+  let rng = Random.State.make [| seed; 37 |] in
+  fst (Gen.random_geometric rng ~n ~radius ())
+
+let test_doubling_stretch () =
+  let g = geometric ~seed:1 ~n:60 ~radius:0.25 in
+  let rng = Random.State.make [| 9 |] in
+  let sp = Doubling_spanner.build ~rng g ~epsilon:0.5 in
+  check "stretch within bound" true
+    (Stats.max_edge_stretch g sp.Doubling_spanner.edges
+    <= sp.Doubling_spanner.stretch_bound +. 1e-9);
+  check "spans" true
+    (let sub, _ = Graph.subgraph g sp.Doubling_spanner.edges in
+     Graph.is_connected sub)
+
+let prop_doubling_stretch =
+  QCheck2.Test.make ~name:"doubling spanner stretch 1+O(eps)" ~count:6
+    QCheck2.Gen.(pair (int_range 20 50) (int_range 0 1000))
+    (fun (n, seed) ->
+      let g = geometric ~seed ~n ~radius:0.3 in
+      let rng = Random.State.make [| seed; 77 |] in
+      let sp = Doubling_spanner.build ~rng g ~epsilon:0.4 in
+      Stats.max_edge_stretch g sp.Doubling_spanner.edges
+      <= sp.Doubling_spanner.stretch_bound +. 1e-9)
+
+let test_doubling_lightness_scaling () =
+  (* Lightness should be far below the trivial bound (all edges) and
+     within the eps^{-O(ddim)} log n envelope for ddim ~ 2. *)
+  let g = geometric ~seed:3 ~n:80 ~radius:0.3 in
+  let rng = Random.State.make [| 5 |] in
+  let sp = Doubling_spanner.build ~rng g ~epsilon:0.5 in
+  let lightness = Stats.lightness g sp.Doubling_spanner.edges in
+  let eps = 0.5 in
+  let envelope = ((1.0 /. eps) ** 4.0) *. Float.log 80.0 in
+  check "lightness envelope" true (lightness <= envelope);
+  check "packing: tables bounded" true (sp.Doubling_spanner.max_table <= 100)
+
+let test_doubling_on_low_dim_vs_dense () =
+  (* The generated geometric graph should have a small estimated
+     doubling dimension, making the construction applicable. *)
+  let g = geometric ~seed:11 ~n:70 ~radius:0.35 in
+  let rng = Random.State.make [| 21 |] in
+  let ddim = Metric.estimate_ddim rng g in
+  check "geometric graph has low ddim" true (ddim <= 6.0)
+
+(* ------------------------------------------------------------------ *)
+(* Section 8 estimator                                                 *)
+
+let prop_estimator_bounds =
+  QCheck2.Test.make ~name:"psi within [L, O(alpha log) L]" ~count:8
+    QCheck2.Gen.(pair (int_range 2 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 51 |] in
+      let g = Gen.erdos_renyi rng ~n ~p:0.25 () in
+      let bfs, _ = Bfs.tree g ~root:0 in
+      let est = Mst_weight.estimate ~rng g ~bfs ~alpha:2.0 in
+      let l = Mst_seq.weight g in
+      est.Mst_weight.psi >= l *. (1.0 -. 1e-9)
+      && est.Mst_weight.psi <= est.Mst_weight.upper_factor *. l)
+
+let test_estimator_levels () =
+  let rng = Random.State.make [| 15 |] in
+  let g = Gen.erdos_renyi rng ~n:60 ~p:0.15 () in
+  let bfs, _ = Bfs.tree g ~root:0 in
+  let est = Mst_weight.estimate ~rng g ~bfs ~alpha:1.5 in
+  (* First level must be all of V, last a single point. *)
+  (match est.Mst_weight.levels with
+  | (_, first) :: _ -> check "first level = V" true (first = 60)
+  | [] -> Alcotest.fail "no levels");
+  let _, last = List.nth est.Mst_weight.levels (List.length est.Mst_weight.levels - 1) in
+  check "last level singleton" true (last = 1);
+  (* Net sizes decrease (weakly) up the hierarchy. *)
+  let sizes = List.map snd est.Mst_weight.levels in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a >= b && mono rest
+    | _ -> true
+  in
+  check "sizes weakly decrease" true (mono sizes)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "ln_doubling+estimate"
+    [
+      ( "doubling",
+        [
+          Alcotest.test_case "stretch" `Quick test_doubling_stretch;
+          qcheck prop_doubling_stretch;
+          Alcotest.test_case "lightness" `Quick test_doubling_lightness_scaling;
+          Alcotest.test_case "low ddim input" `Quick test_doubling_on_low_dim_vs_dense;
+        ] );
+      ( "estimate",
+        [
+          qcheck prop_estimator_bounds;
+          Alcotest.test_case "levels" `Quick test_estimator_levels;
+        ] );
+    ]

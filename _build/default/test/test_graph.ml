@@ -1,0 +1,478 @@
+(* Tests for the sequential graph substrate: structures, shortest
+   paths, MSTs, trees and Euler tours. *)
+
+module Graph = Ln_graph.Graph
+module Paths = Ln_graph.Paths
+module Mst_seq = Ln_graph.Mst_seq
+module Tree = Ln_graph.Tree
+module Euler = Ln_graph.Euler
+module Gen = Ln_graph.Gen
+module Stats = Ln_graph.Stats
+module Union_find = Ln_graph.Union_find
+module Pqueue = Ln_graph.Pqueue
+module Metric = Ln_graph.Metric
+module Graph_io = Ln_graph.Graph_io
+
+let rng () = Random.State.make [| 0x5ee0; 42 |]
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs a)
+
+let check_close msg a b =
+  if not (close a b) then Alcotest.failf "%s: %.12g <> %.12g" msg a b
+
+(* A small diamond graph used in several tests:
+     0 --1-- 1
+     |       |
+     4       1
+     |       |
+     2 --1-- 3       plus a heavy shortcut 0--3 of weight 10. *)
+let diamond () =
+  Graph.create 4
+    [
+      { Graph.u = 0; v = 1; w = 1.0 };
+      { Graph.u = 1; v = 3; w = 1.0 };
+      { Graph.u = 0; v = 2; w = 4.0 };
+      { Graph.u = 2; v = 3; w = 1.0 };
+      { Graph.u = 0; v = 3; w = 10.0 };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Union-find and priority queue laws                                  *)
+
+let test_union_find () =
+  let uf = Union_find.create 10 in
+  check_int "initial sets" 10 (Union_find.count uf);
+  check "union works" true (Union_find.union uf 0 1);
+  check "redundant union" false (Union_find.union uf 1 0);
+  check "same" true (Union_find.same uf 0 1);
+  check "not same" false (Union_find.same uf 0 2);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 1 3);
+  check_int "sets after merges" 7 (Union_find.count uf);
+  check_int "size of merged" 4 (Union_find.size uf 2)
+
+let test_pqueue_sorts () =
+  let rng = rng () in
+  let q = Pqueue.create () in
+  let xs = List.init 500 (fun _ -> Random.State.float rng 1000.0) in
+  List.iter (fun x -> Pqueue.push q x ()) xs;
+  check_int "length" 500 (Pqueue.length q);
+  let popped = ref [] in
+  while not (Pqueue.is_empty q) do
+    popped := fst (Pqueue.pop_min q) :: !popped
+  done;
+  let sorted = List.sort Float.compare xs in
+  check "pops in order" true (List.rev !popped = sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Graph structure                                                     *)
+
+let test_graph_basics () =
+  let g = diamond () in
+  check_int "n" 4 (Graph.n g);
+  check_int "m" 5 (Graph.m g);
+  check_int "degree 0" 3 (Graph.degree g 0);
+  check "find edge" true (Graph.find_edge g 3 1 <> None);
+  check "no self edge" true (Graph.find_edge g 2 2 = None);
+  check "connected" true (Graph.is_connected g);
+  check_close "total weight" 17.0 (Graph.total_weight g)
+
+let test_graph_collapses_parallel () =
+  let g =
+    Graph.create 3
+      [
+        { Graph.u = 0; v = 1; w = 5.0 };
+        { Graph.u = 1; v = 0; w = 2.0 };
+        { Graph.u = 1; v = 2; w = 1.0 };
+        { Graph.u = 2; v = 2; w = 9.0 };
+      ]
+  in
+  check_int "parallel collapsed, loop dropped" 2 (Graph.m g);
+  match Graph.find_edge g 0 1 with
+  | Some id -> check_close "kept the lighter parallel edge" 2.0 (Graph.weight g id)
+  | None -> Alcotest.fail "edge 0-1 missing"
+
+let test_graph_rejects_bad_input () =
+  Alcotest.check_raises "bad endpoint" (Invalid_argument "Graph.create: endpoint out of range")
+    (fun () -> ignore (Graph.create 2 [ { Graph.u = 0; v = 5; w = 1.0 } ]));
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Graph.create: weight must be positive and finite") (fun () ->
+      ignore (Graph.create 2 [ { Graph.u = 0; v = 1; w = 0.0 } ]))
+
+let test_components () =
+  let g =
+    Graph.create 5 [ { Graph.u = 0; v = 1; w = 1.0 }; { Graph.u = 2; v = 3; w = 1.0 } ]
+  in
+  let c, comp = Graph.components g in
+  check_int "three components" 3 c;
+  check "0 and 1 together" true (comp.(0) = comp.(1));
+  check "0 and 2 apart" true (comp.(0) <> comp.(2));
+  check "connected is false" true (not (Graph.is_connected g))
+
+let test_hop_diameter () =
+  check_int "path hop diameter" 9 (Graph.hop_diameter (Gen.path 10));
+  check_int "star hop diameter" 2 (Graph.hop_diameter (Gen.star 10))
+
+(* ------------------------------------------------------------------ *)
+(* Shortest paths                                                      *)
+
+let test_dijkstra_diamond () =
+  let g = diamond () in
+  let r = Paths.dijkstra g 0 in
+  check_close "d(0,3)" 2.0 r.dist.(3);
+  check_close "d(0,2)" 3.0 r.dist.(2);
+  match Paths.path_to r g 2 with
+  | Some p -> check "path 0-1-3-2" true (p = [ 0; 1; 3; 2 ])
+  | None -> Alcotest.fail "no path"
+
+let test_dijkstra_bound () =
+  let g = diamond () in
+  let r = Paths.dijkstra ~bound:1.5 g 0 in
+  check_close "within bound" 1.0 r.dist.(1);
+  check "beyond bound" true (r.dist.(2) = infinity)
+
+let test_dijkstra_multi () =
+  let g = Gen.path 5 in
+  let r, src = Paths.dijkstra_multi g [ 0; 4 ] in
+  check_close "middle" 2.0 r.dist.(2);
+  check_int "near source of 1" 0 src.(1);
+  check_int "near source of 3" 4 src.(3)
+
+(* ------------------------------------------------------------------ *)
+(* MST                                                                 *)
+
+let test_mst_diamond () =
+  let g = diamond () in
+  let mst = Mst_seq.kruskal g in
+  check "spanning" true (Mst_seq.is_spanning_tree g mst);
+  check_close "weight" 3.0 (Graph.weight_of_edges g mst)
+
+let prop_kruskal_equals_prim =
+  QCheck2.Test.make ~name:"kruskal = prim on random graphs" ~count:40
+    QCheck2.Gen.(pair (int_range 2 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Gen.erdos_renyi rng ~n ~p:0.3 () in
+      Mst_seq.kruskal g = Mst_seq.prim g)
+
+let prop_mst_weight_minimal =
+  QCheck2.Test.make ~name:"mst weight <= any spanning tree (random trees)" ~count:30
+    QCheck2.Gen.(pair (int_range 3 25) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 7 |] in
+      let g = Gen.erdos_renyi rng ~n ~p:0.5 () in
+      let w_mst = Mst_seq.weight g in
+      (* Random spanning tree via randomized Kruskal on shuffled edges. *)
+      let ids = Array.init (Graph.m g) (fun i -> i) in
+      for i = Array.length ids - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let t = ids.(i) in
+        ids.(i) <- ids.(j);
+        ids.(j) <- t
+      done;
+      let uf = Union_find.create n in
+      let w = ref 0.0 in
+      Array.iter
+        (fun id ->
+          let u, v = Graph.endpoints g id in
+          if Union_find.union uf u v then w := !w +. Graph.weight g id)
+        ids;
+      w_mst <= !w +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Trees and Euler tours                                               *)
+
+let test_tree_structure () =
+  let g = diamond () in
+  let mst = Mst_seq.kruskal g in
+  let t = Tree.of_edges g ~root:0 mst in
+  check "covers all" true (Tree.covers_all t);
+  check_int "root depth" 0 (Tree.depth_hops t 0);
+  check_close "dist to 2 along tree" 3.0 (Tree.dist_to_root t 2);
+  check_close "tree dist 2-1" 2.0 (Tree.dist t 2 1);
+  check "preorder starts at root" true (List.hd (Tree.preorder t) = 0);
+  check_int "preorder covers" 4 (List.length (Tree.preorder t))
+
+let test_tree_rejects_cycle () =
+  let g = Gen.cycle 4 in
+  let all = List.init (Graph.m g) (fun i -> i) in
+  Alcotest.check_raises "cycle" (Invalid_argument "Tree.of_edges: cycle in edge set")
+    (fun () -> ignore (Tree.of_edges g ~root:0 all))
+
+let test_euler_paper_figure () =
+  (* The figure in Section 3: rt=a with children b (w=2) and c..., we
+     reproduce a small version: star with two leaves, weights 2 and 3. *)
+  let g =
+    Graph.create 3 [ { Graph.u = 0; v = 1; w = 2.0 }; { Graph.u = 0; v = 2; w = 3.0 } ]
+  in
+  let t = Tree.of_edges g ~root:0 [ 0; 1 ] in
+  let e = Euler.of_tree t in
+  check_int "length 2n-1" 5 (Euler.length e);
+  check "sequence" true (Array.to_list e.Euler.seq = [ 0; 1; 0; 2; 0 ]);
+  check "times" true
+    (List.for_all2 close
+       (Array.to_list e.Euler.time)
+       [ 0.0; 2.0; 4.0; 7.0; 10.0 ]);
+  check_close "total = 2 w(T)" 10.0 e.Euler.total
+
+let prop_euler_invariants =
+  QCheck2.Test.make ~name:"euler tour invariants on random MSTs" ~count:40
+    QCheck2.Gen.(pair (int_range 2 60) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 13 |] in
+      let g = Gen.erdos_renyi rng ~n ~p:0.2 () in
+      let t = Tree.of_edges g ~root:0 (Mst_seq.kruskal g) in
+      let e = Euler.of_tree t in
+      match Euler.check t e with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_report msg)
+
+(* ------------------------------------------------------------------ *)
+(* Generators and stats                                                *)
+
+let test_generators_connected () =
+  let rng = rng () in
+  let graphs =
+    [
+      Gen.erdos_renyi rng ~n:40 ~p:0.05 ();
+      Gen.heavy_tailed rng ~n:30 ~p:0.1 ();
+      fst (Gen.random_geometric rng ~n:50 ~radius:0.15 ());
+      Gen.grid rng ~rows:5 ~cols:7 ();
+      Gen.clustered rng ~clusters:4 ~size:8 ~p_in:0.6 ~p_out:0.02 ();
+      Gen.caterpillar rng ~spine:10 ~legs:12 ();
+      Gen.complete rng ~n:12 ();
+    ]
+  in
+  List.iteri
+    (fun i g ->
+      check (Printf.sprintf "generator %d connected" i) true (Graph.is_connected g))
+    graphs
+
+let test_stats_identity () =
+  let g = diamond () in
+  let mst = Mst_seq.kruskal g in
+  check_close "mst lightness is 1" 1.0 (Stats.lightness g mst);
+  let all = List.init (Graph.m g) (fun i -> i) in
+  check_close "full graph stretch 1" 1.0 (Stats.max_edge_stretch g all);
+  (* MST-only spanner: edge 0-3 (w=10) is served by path of weight 2:
+     stretch < 1 for that edge; worst stretch is edge 0-2 (w=4) served
+     by 0-1-3-2 of weight 3 => 0.75; all <= 1 here except none. The
+     max stretch over edges is achieved by an edge whose alternative is
+     longer: all graph edges vs MST paths: 0-2: 3/4, 0-3: 2/10 -> max
+     stretch is 1.0 for tree edges themselves. *)
+  check_close "mst stretch on diamond" 1.0 (Stats.max_edge_stretch g mst)
+
+let test_root_stretch () =
+  let g = diamond () in
+  let mst = Mst_seq.kruskal g in
+  (* From root 2: d_G(2,0) = 3 via 2-3-1-0; in MST same path: stretch 1. *)
+  check_close "root stretch of mst from 2" 1.0 (Stats.root_stretch g mst ~root:2)
+
+let test_metric_net_props () =
+  let g = Gen.path 10 in
+  check_close "separation of endpoints" 9.0 (Metric.separation g [ 0; 9 ]);
+  check_close "covering radius of {0}" 9.0 (Metric.covering_radius g [ 0 ]);
+  check_int "ball size" 5 (List.length (Metric.ball g ~center:2 ~radius:2.0))
+
+(* ------------------------------------------------------------------ *)
+(* Additional structure & generator properties                          *)
+
+let test_subgraph_mapping () =
+  let g = diamond () in
+  let mst = Mst_seq.kruskal g in
+  let sub, original = Graph.subgraph g mst in
+  check_int "subgraph edges" 3 (Graph.m sub);
+  check "ids map back" true
+    (List.init (Graph.m sub) original |> List.sort Int.compare = mst);
+  check "weights preserved" true
+    (List.init (Graph.m sub) (fun i -> Graph.weight sub i = Graph.weight g (original i))
+    |> List.for_all Fun.id)
+
+let test_aspect_ratio () =
+  let g = diamond () in
+  check_close "aspect" 10.0 (Graph.weight_aspect_ratio g);
+  check_close "edgeless aspect" 1.0 (Graph.weight_aspect_ratio (Graph.create 3 []))
+
+let prop_compare_edges_total_order =
+  QCheck2.Test.make ~name:"compare_edges is a strict total order" ~count:20
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let g = Gen.erdos_renyi rng ~n:20 ~p:0.4 ~w_lo:1.0 ~w_hi:3.0 () in
+      let m = Graph.m g in
+      let ids = List.init m Fun.id in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let c1 = Graph.compare_edges g a b and c2 = Graph.compare_edges g b a in
+              if a = b then c1 = 0 else c1 = -c2 && c1 <> 0)
+            ids)
+        ids)
+
+let prop_path_to_realizes_distance =
+  QCheck2.Test.make ~name:"dijkstra path realizes the distance" ~count:25
+    QCheck2.Gen.(pair (int_range 2 40) (int_range 0 5000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 77 |] in
+      let g = Gen.erdos_renyi rng ~n ~p:0.2 () in
+      let src = seed mod n in
+      let sp = Paths.dijkstra g src in
+      List.for_all
+        (fun v ->
+          match Paths.path_to sp g v with
+          | None -> false
+          | Some path ->
+            let rec len = function
+              | a :: (b :: _ as rest) ->
+                (match Graph.find_edge g a b with
+                | Some e -> Graph.weight g e +. len rest
+                | None -> infinity)
+              | _ -> 0.0
+            in
+            Float.abs (len path -. sp.Paths.dist.(v)) <= 1e-9 *. (1.0 +. sp.Paths.dist.(v)))
+        (List.init n Fun.id))
+
+let prop_all_pairs_symmetric =
+  QCheck2.Test.make ~name:"all-pairs distances symmetric & triangle" ~count:10
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 3 |] in
+      let g = Gen.erdos_renyi rng ~n:15 ~p:0.4 () in
+      let d = Paths.all_pairs g in
+      let n = Graph.n g in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Float.abs (d.(i).(j) -. d.(j).(i)) > 1e-9 then ok := false;
+          for l = 0 to n - 1 do
+            if d.(i).(j) > d.(i).(l) +. d.(l).(j) +. 1e-9 then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let test_euler_interval_api () =
+  let g = diamond () in
+  let t = Tree.of_edges g ~root:0 (Mst_seq.kruskal g) in
+  let e = Euler.of_tree t in
+  let lo, hi = Euler.interval e 0 in
+  check_close "root interval start" 0.0 lo;
+  check_close "root interval end = total" e.Euler.total hi;
+  check_int "first position of root" 0 (Euler.first_position e 0);
+  (* Subtree intervals nest. *)
+  let lo1, hi1 = Euler.interval e 1 in
+  check "child nests" true (lo <= lo1 && hi1 <= hi);
+  check_close "dist along" (Float.abs (e.Euler.time.(2) -. e.Euler.time.(0)))
+    (Euler.dist_along e 0 2)
+
+let prop_heavy_tailed_weights_in_range =
+  QCheck2.Test.make ~name:"heavy-tailed weights within [1, range]" ~count:10
+    QCheck2.Gen.(int_range 0 500)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 9 |] in
+      let g = Gen.heavy_tailed rng ~n:30 ~p:0.3 ~range:1e3 () in
+      Graph.fold_edges g (fun _ e acc -> acc && e.Graph.w >= 0.99 && e.Graph.w <= 1001.0) true)
+
+let prop_geometric_weights_are_distances =
+  QCheck2.Test.make ~name:"geometric graph weights = euclidean distances" ~count:10
+    QCheck2.Gen.(int_range 0 500)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 10 |] in
+      let g, pts = Gen.random_geometric rng ~n:30 ~radius:0.4 () in
+      Graph.fold_edges g
+        (fun _ e acc ->
+          let dx = pts.(e.Graph.u).(0) -. pts.(e.Graph.v).(0) in
+          let dy = pts.(e.Graph.u).(1) -. pts.(e.Graph.v).(1) in
+          acc && Float.abs (Float.sqrt ((dx *. dx) +. (dy *. dy)) -. e.Graph.w) <= 1e-9)
+        true)
+
+let prop_graph_io_roundtrip =
+  QCheck2.Test.make ~name:"graph io roundtrip" ~count:15
+    QCheck2.Gen.(pair (int_range 2 40) (int_range 0 5000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 100 |] in
+      let g = Gen.heavy_tailed rng ~n ~p:0.25 ~range:1e4 () in
+      let path = Filename.temp_file "lightnet" ".dimacs" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Graph_io.save_graph path g;
+          let g2 = Graph_io.load_graph path in
+          Graph.n g = Graph.n g2
+          && Graph.m g = Graph.m g2
+          && List.init (Graph.m g) (fun i ->
+                 Graph.endpoints g i = Graph.endpoints g2 i
+                 && Float.abs (Graph.weight g i -. Graph.weight g2 i)
+                    <= 1e-12 *. Graph.weight g i)
+             |> List.for_all Fun.id))
+
+let test_edge_set_io () =
+  let path = Filename.temp_file "lightnet" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Graph_io.save_edge_set path [ 4; 1; 9; 0 ];
+      check "edge set roundtrip" true (Graph_io.load_edge_set path = [ 4; 1; 9; 0 ]))
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "ln_graph"
+    [
+      ( "structures",
+        [
+          Alcotest.test_case "union find" `Quick test_union_find;
+          Alcotest.test_case "pqueue sorts" `Quick test_pqueue_sorts;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "parallel edges" `Quick test_graph_collapses_parallel;
+          Alcotest.test_case "bad input" `Quick test_graph_rejects_bad_input;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "hop diameter" `Quick test_hop_diameter;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "dijkstra diamond" `Quick test_dijkstra_diamond;
+          Alcotest.test_case "dijkstra bound" `Quick test_dijkstra_bound;
+          Alcotest.test_case "dijkstra multi" `Quick test_dijkstra_multi;
+        ] );
+      ( "mst",
+        [
+          Alcotest.test_case "diamond" `Quick test_mst_diamond;
+          qcheck prop_kruskal_equals_prim;
+          qcheck prop_mst_weight_minimal;
+        ] );
+      ( "tree+euler",
+        [
+          Alcotest.test_case "tree structure" `Quick test_tree_structure;
+          Alcotest.test_case "tree rejects cycle" `Quick test_tree_rejects_cycle;
+          Alcotest.test_case "paper figure" `Quick test_euler_paper_figure;
+          qcheck prop_euler_invariants;
+        ] );
+      ( "gen+stats",
+        [
+          Alcotest.test_case "generators connected" `Quick test_generators_connected;
+          Alcotest.test_case "stats identities" `Quick test_stats_identity;
+          Alcotest.test_case "root stretch" `Quick test_root_stretch;
+          Alcotest.test_case "metric props" `Quick test_metric_net_props;
+          qcheck prop_heavy_tailed_weights_in_range;
+          qcheck prop_geometric_weights_are_distances;
+        ] );
+      ( "structure-extra",
+        [
+          Alcotest.test_case "subgraph mapping" `Quick test_subgraph_mapping;
+          Alcotest.test_case "aspect ratio" `Quick test_aspect_ratio;
+          qcheck prop_compare_edges_total_order;
+          qcheck prop_path_to_realizes_distance;
+          qcheck prop_all_pairs_symmetric;
+          Alcotest.test_case "euler interval api" `Quick test_euler_interval_api;
+          qcheck prop_graph_io_roundtrip;
+          Alcotest.test_case "edge set io" `Quick test_edge_set_io;
+        ] );
+    ]

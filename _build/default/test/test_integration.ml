@@ -1,0 +1,208 @@
+(* Integration tests across the whole public API: paper invariants
+   that span modules, the Quick one-call layer, determinism, and the
+   bucket-clustering invariants of Section 5. *)
+
+open Lightnet
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Section 5 invariant: every cluster has weak diameter <= eps * w_i
+   with respect to the MST metric.                                     *)
+
+let prop_cluster_weak_diameter =
+  QCheck2.Test.make ~name:"bucket clusters have weak diameter <= eps*w_i" ~count:10
+    QCheck2.Gen.(pair (int_range 5 50) (int_range 0 3000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 91 |] in
+      let g = Gen.heavy_tailed rng ~n ~p:0.25 ~range:1e4 () in
+      let dist = Dist_mst.run g in
+      let tour = Euler_dist.run dist ~rt:0 in
+      let tt = Tour_table.make g tour in
+      let l_total = tour.Euler_dist.total in
+      let epsilon = 0.4 and k = 2 in
+      let mst_tree = dist |> fun d -> Tree.of_edges g ~root:0 d.Dist_mst.mst_edges in
+      let nbuckets = Buckets.bucket_count ~epsilon ~n in
+      let ok = ref true in
+      for i = 0 to min nbuckets 12 - 1 do
+        let wi = Buckets.bucket_width ~l_total ~epsilon i in
+        let cluster_of =
+          match Buckets.assign g ~tt ~l_total ~epsilon ~k ~i with
+          | Buckets.Global { cluster_of; _ } -> cluster_of
+          | Buckets.Interval { cluster_of; _ } -> cluster_of
+        in
+        (* Sampled pairs within the same cluster. *)
+        for v = 0 to n - 1 do
+          let u = (v * 7) mod n in
+          if u <> v && cluster_of.(u) = cluster_of.(v) then
+            if Tree.dist mst_tree u v > (epsilon *. wi) +. 1e-6 then ok := false
+        done
+      done;
+      !ok)
+
+(* Every edge is classified into exactly one bucket consistent with its
+   weight. *)
+let prop_bucket_classification =
+  QCheck2.Test.make ~name:"bucket classification partitions by weight" ~count:20
+    QCheck2.Gen.(pair (int_range 2 60) (int_range 0 3000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 92 |] in
+      let g = Gen.heavy_tailed rng ~n ~p:0.2 ~range:1e5 () in
+      let l_total = 2.0 *. Mst_seq.weight g in
+      let epsilon = 0.3 in
+      Graph.fold_edges g
+        (fun _ e acc ->
+          acc
+          &&
+          match Buckets.classify ~l_total ~epsilon ~n e.Graph.w with
+          | `Light -> e.Graph.w <= l_total /. float_of_int n
+          | `Heavy -> e.Graph.w > l_total
+          | `Bucket i ->
+            i >= 0
+            && e.Graph.w <= (l_total /. ((1.0 +. epsilon) ** float_of_int i)) +. 1e-9)
+        true)
+
+(* ------------------------------------------------------------------ *)
+(* Quick API                                                           *)
+
+let test_quick_api () =
+  let rng = Random.State.make [| 17 |] in
+  let g = Gen.erdos_renyi rng ~n:60 ~p:0.15 () in
+  let sp, q1 = Quick.light_spanner g ~k:2 in
+  check "spanner stretch within bound" true
+    (q1.Quick.stretch <= sp.Light_spanner.stretch_bound +. 1e-9);
+  check "spanner rounds recorded" true (q1.Quick.rounds_native > 0);
+  let t, q2 = Quick.slt g ~rt:5 in
+  check "slt stretch within bound" true (q2.Quick.stretch <= t.Slt.stretch_bound +. 1e-9);
+  check "slt lightness within bound" true
+    (q2.Quick.lightness <= t.Slt.lightness_bound +. 1e-9);
+  let net = Quick.net g ~radius:40.0 in
+  check "net verifies" true
+    (Net.is_net g ~covering:net.Net.covering_bound ~separation:net.Net.separation_bound
+       net.Net.points)
+
+let test_quick_pp () =
+  let rng = Random.State.make [| 18 |] in
+  let g = Gen.erdos_renyi rng ~n:30 ~p:0.3 () in
+  let _, q = Quick.light_spanner g ~k:2 in
+  let s = Format.asprintf "%a" Quick.pp_quality q in
+  check "pp mentions stretch" true
+    (String.length s > 0
+    && String.split_on_char ' ' s |> List.exists (fun w -> String.length w >= 7 && String.sub w 0 7 = "stretch"))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: same seed, same results.                               *)
+
+let test_determinism () =
+  let g =
+    Gen.erdos_renyi (Random.State.make [| 5; 5 |]) ~n:50 ~p:0.2 ()
+  in
+  let run () =
+    let rng = Random.State.make [| 99 |] in
+    let sp = Light_spanner.build ~rng g ~k:2 ~epsilon:0.3 in
+    sp.Light_spanner.edges
+  in
+  check "same seed, same spanner" true (run () = run ());
+  let run_slt () =
+    let rng = Random.State.make [| 98 |] in
+    (Slt.build ~rng g ~rt:0 ~epsilon:0.5).Slt.edges
+  in
+  check "same seed, same slt" true (run_slt () = run_slt ())
+
+(* ------------------------------------------------------------------ *)
+(* Cross-construction coherence on a single network.                   *)
+
+let test_everything_on_one_graph () =
+  let rng = Random.State.make [| 202 |] in
+  let g, _ = Gen.random_geometric rng ~n:70 ~radius:0.3 () in
+  (* MST agreement between every layer. *)
+  let dist = Dist_mst.run g in
+  check "distributed = sequential MST" true (dist.Dist_mst.mst_edges = Mst_seq.kruskal g);
+  (* The SLT's H contains the MST. *)
+  let slt = Slt.build ~rng g ~rt:3 ~epsilon:0.5 in
+  let h = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace h e ()) slt.Slt.h_edges;
+  check "H contains the MST" true (List.for_all (Hashtbl.mem h) dist.Dist_mst.mst_edges);
+  check "SLT edges inside H" true (List.for_all (Hashtbl.mem h) slt.Slt.edges);
+  (* The light spanner contains the MST (lightness accounting needs it). *)
+  let sp = Light_spanner.build ~rng g ~k:2 ~epsilon:0.3 in
+  let s = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace s e ()) sp.Light_spanner.edges;
+  check "spanner contains the MST" true
+    (List.for_all (Hashtbl.mem s) dist.Dist_mst.mst_edges);
+  (* A doubling spanner on the same graph also respects its bound. *)
+  let dsp = Doubling_spanner.build ~rng g ~epsilon:0.5 in
+  check "doubling stretch" true
+    (Stats.max_edge_stretch g dsp.Doubling_spanner.edges
+    <= dsp.Doubling_spanner.stretch_bound +. 1e-9)
+
+(* SLT and spanner survive extreme epsilon values. *)
+let test_parameter_extremes () =
+  let rng = Random.State.make [| 301 |] in
+  let g = Gen.erdos_renyi rng ~n:40 ~p:0.3 () in
+  let t = Slt.build ~rng g ~rt:0 ~epsilon:1.0 in
+  check "slt eps=1 ok" true (Tree.covers_all t.Slt.tree);
+  let t = Slt.build ~rng g ~rt:0 ~epsilon:0.01 in
+  check "slt eps=0.01 ok (≈SPT)" true
+    (Stats.tree_root_stretch g t.Slt.tree ~root:0 <= 1.52);
+  check "rejects eps=0" true
+    (try ignore (Slt.build ~rng g ~rt:0 ~epsilon:0.0); false
+     with Invalid_argument _ -> true);
+  check "rejects k=0" true
+    (try ignore (Light_spanner.build ~rng g ~k:0 ~epsilon:0.5); false
+     with Invalid_argument _ -> true);
+  check "rejects eps>=1 spanner" true
+    (try ignore (Light_spanner.build ~rng g ~k:2 ~epsilon:1.0); false
+     with Invalid_argument _ -> true)
+
+(* Tiny graphs through every construction. *)
+let test_singleton_graph () =
+  let g1 = Graph.create 1 [] in
+  let rng = Random.State.make [| 6 |] in
+  let d = Dist_mst.run g1 in
+  check "n=1 mst empty" true (d.Dist_mst.mst_edges = []);
+  let tour = Euler_dist.run d ~rt:0 in
+  check "n=1 tour single appearance" true
+    (tour.Euler_dist.appearances.(0) = [ (0, 0.0) ]);
+  let t = Slt.build ~rng g1 ~rt:0 ~epsilon:0.5 in
+  check "n=1 slt" true (t.Slt.edges = []);
+  let bfs, _ = Bfs.tree g1 ~root:0 in
+  let net = Net.build ~rng g1 ~bfs ~radius:1.0 ~delta:0.5 in
+  check "n=1 net" true (net.Net.points = [ 0 ])
+
+let test_tiny_graphs () =
+  let g2 = Graph.create 2 [ { Graph.u = 0; v = 1; w = 3.0 } ] in
+  let rng = Random.State.make [| 7 |] in
+  let d = Dist_mst.run g2 in
+  check "n=2 mst" true (d.Dist_mst.mst_edges = [ 0 ]);
+  let t = Slt.build ~rng g2 ~rt:0 ~epsilon:0.5 in
+  check "n=2 slt" true (Tree.covers_all t.Slt.tree);
+  let sp = Light_spanner.build ~rng g2 ~k:2 ~epsilon:0.3 in
+  check "n=2 spanner" true (List.length sp.Light_spanner.edges >= 1);
+  let bfs, _ = Bfs.tree g2 ~root:0 in
+  let net = Net.build ~rng g2 ~bfs ~radius:1.0 ~delta:0.0 in
+  check "n=2 net all points" true (List.length net.Net.points = 2);
+  let dd = Doubling_spanner.build ~rng g2 ~epsilon:0.5 in
+  check "n=2 doubling" true (dd.Doubling_spanner.edges = [ 0 ])
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "section5-invariants",
+        [ qcheck prop_cluster_weak_diameter; qcheck prop_bucket_classification ] );
+      ( "quick-api",
+        [
+          Alcotest.test_case "quick" `Quick test_quick_api;
+          Alcotest.test_case "pp" `Quick test_quick_pp;
+        ] );
+      ( "coherence",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "one graph, all objects" `Quick test_everything_on_one_graph;
+          Alcotest.test_case "parameter extremes" `Quick test_parameter_extremes;
+          Alcotest.test_case "singleton graph" `Quick test_singleton_graph;
+          Alcotest.test_case "tiny graphs" `Quick test_tiny_graphs;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+(* Tests for shallow-light trees (Section 4): stretch and lightness of
+   both the distributed construction and the sequential KRY95
+   baseline, and the BFN16 lightness-close-to-1 regime. *)
+
+module Graph = Ln_graph.Graph
+module Tree = Ln_graph.Tree
+module Gen = Ln_graph.Gen
+module Stats = Ln_graph.Stats
+module Mst_seq = Ln_graph.Mst_seq
+module Paths = Ln_graph.Paths
+module Ledger = Ln_congest.Ledger
+module Slt = Ln_slt.Slt
+module Kry95 = Ln_slt.Kry95
+
+let check = Alcotest.(check bool)
+
+let tree_quality g ~rt tree =
+  let stretch = Stats.tree_root_stretch g tree ~root:rt in
+  let lightness = Graph.weight_of_edges g (Tree.edges tree) /. Mst_seq.weight g in
+  (stretch, lightness)
+
+let test_slt_basic () =
+  let rng = Random.State.make [| 19 |] in
+  let g = Gen.erdos_renyi rng ~n:80 ~p:0.1 () in
+  let epsilon = 0.5 in
+  let r = Slt.build ~rng g ~rt:0 ~epsilon in
+  check "spanning" true (Tree.covers_all r.Slt.tree);
+  let stretch, lightness = tree_quality g ~rt:0 r.Slt.tree in
+  check "stretch within promised bound" true (stretch <= r.Slt.stretch_bound +. 1e-9);
+  check "lightness within promised bound" true
+    (lightness <= r.Slt.lightness_bound +. 1e-9);
+  check "has break points" true (r.Slt.break_positions <> [])
+
+let prop_slt_bounds =
+  QCheck2.Test.make ~name:"SLT stretch & lightness bounds hold" ~count:12
+    QCheck2.Gen.(triple (int_range 2 70) (int_range 0 5000) (int_range 0 2))
+    (fun (n, seed, ei) ->
+      let epsilon = [| 0.25; 0.5; 1.0 |].(ei) in
+      let rng = Random.State.make [| seed; 61 |] in
+      let g = Gen.erdos_renyi rng ~n ~p:0.15 () in
+      let rt = seed mod n in
+      let r = Slt.build ~rng g ~rt ~epsilon in
+      let stretch, lightness = tree_quality g ~rt r.Slt.tree in
+      Tree.covers_all r.Slt.tree
+      && stretch <= r.Slt.stretch_bound +. 1e-9
+      && lightness <= r.Slt.lightness_bound +. 1e-9)
+
+let prop_slt_structured =
+  QCheck2.Test.make ~name:"SLT on adversarial topologies" ~count:6
+    QCheck2.Gen.(int_range 0 500)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 71 |] in
+      let graphs =
+        [
+          (Gen.cycle ~w:3.0 40, 0);
+          (Gen.star 30, 4);
+          (Gen.clustered rng ~clusters:4 ~size:8 ~p_in:0.6 ~p_out:0.05 (), 1);
+          (Gen.grid rng ~rows:6 ~cols:7 (), 20);
+        ]
+      in
+      List.for_all
+        (fun (g, rt) ->
+          let r = Slt.build ~rng g ~rt ~epsilon:0.5 in
+          let stretch, lightness = tree_quality g ~rt r.Slt.tree in
+          stretch <= r.Slt.stretch_bound && lightness <= r.Slt.lightness_bound)
+        graphs)
+
+let test_slt_beats_extremes () =
+  (* On a cycle, the MST alone has root-stretch ~ n while the SPT has
+     lightness ~ 2x MST; the SLT must sit in between. *)
+  let rng = Random.State.make [| 77 |] in
+  let g = Gen.cycle ~w:1.0 101 in
+  let rt = 0 in
+  let mst_tree = Tree.of_edges g ~root:rt (Mst_seq.kruskal g) in
+  let mst_stretch, _ = tree_quality g ~rt mst_tree in
+  let r = Slt.build ~rng g ~rt ~epsilon:0.5 in
+  let slt_stretch, slt_light = tree_quality g ~rt r.Slt.tree in
+  check "mst root stretch is terrible" true (mst_stretch > 20.0);
+  check "slt root stretch is small" true (slt_stretch <= r.Slt.stretch_bound);
+  check "slt lightness bounded" true (slt_light <= r.Slt.lightness_bound)
+
+let test_build_light_regime () =
+  let rng = Random.State.make [| 41 |] in
+  let g = Gen.erdos_renyi rng ~n:70 ~p:0.12 () in
+  let gamma = 0.5 in
+  let r = Slt.build_light ~rng g ~rt:0 ~gamma in
+  let stretch, lightness = tree_quality g ~rt:0 r.Slt.tree in
+  check "light regime: lightness <= 1 + gamma" true (lightness <= 1.0 +. gamma +. 1e-9);
+  check "light regime: stretch <= bound" true (stretch <= r.Slt.stretch_bound +. 1e-9)
+
+let prop_build_light =
+  QCheck2.Test.make ~name:"BFN16 regime: lightness 1+gamma" ~count:8
+    QCheck2.Gen.(pair (int_range 10 60) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 83 |] in
+      let g = Gen.erdos_renyi rng ~n ~p:0.2 () in
+      let gamma = 0.3 in
+      let r = Slt.build_light ~rng g ~rt:(seed mod n) ~gamma in
+      let _, lightness = tree_quality g ~rt:(seed mod n) r.Slt.tree in
+      lightness <= 1.0 +. gamma +. 1e-9)
+
+let test_kry95 () =
+  let rng = Random.State.make [| 55 |] in
+  let g = Gen.erdos_renyi rng ~n:90 ~p:0.1 () in
+  let epsilon = 0.5 in
+  let r = Kry95.build g ~rt:3 ~epsilon in
+  check "spanning" true (Tree.covers_all r.Kry95.tree);
+  let stretch, lightness = tree_quality g ~rt:3 r.Kry95.tree in
+  (* Classical guarantees: 1 + 2/ (eps... ) we use the paper's form:
+     stretch <= 1 + eps·(something small); for the tour-budget variant
+     stretch <= 1 + 2·eps and lightness <= 1 + 2/eps. *)
+  check "kry95 stretch" true (stretch <= 1.0 +. (2.0 *. epsilon) +. 1e-9);
+  check "kry95 lightness" true (lightness <= 1.0 +. (2.0 /. epsilon) +. 1e-9)
+
+let prop_kry95_bounds =
+  QCheck2.Test.make ~name:"KRY95 bounds on random graphs" ~count:15
+    QCheck2.Gen.(pair (int_range 2 80) (int_range 0 5000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 91 |] in
+      let g = Gen.erdos_renyi rng ~n ~p:0.15 () in
+      let rt = seed mod n in
+      let epsilon = 0.4 in
+      let r = Kry95.build g ~rt ~epsilon in
+      let stretch, lightness = tree_quality g ~rt r.Kry95.tree in
+      stretch <= 1.0 +. (2.0 *. epsilon) +. 1e-9
+      && lightness <= 1.0 +. (2.0 /. epsilon) +. 1e-9)
+
+let test_ledger_phases () =
+  let rng = Random.State.make [| 13 |] in
+  let g = Gen.erdos_renyi rng ~n:50 ~p:0.15 () in
+  let r = Slt.build ~rng g ~rt:0 ~epsilon:0.5 in
+  let labels = List.map (fun e -> e.Ledger.label) (Ledger.entries r.Slt.ledger) in
+  let has prefix = List.exists (fun l -> String.length l >= String.length prefix
+      && String.sub l 0 (String.length prefix) = prefix) labels in
+  check "has mst phases" true (has "mst+euler/");
+  check "has spt phases" true (has "spt/");
+  check "has bp1 scan" true (has "slt/bp1");
+  check "has abp passes" true (has "slt/abp");
+  check "charged component present" true (Ledger.charged_total r.Slt.ledger > 0);
+  check "native dominates charge accounting" true (Ledger.native_total r.Slt.ledger > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Break-point structure                                               *)
+
+let test_break_positions_valid () =
+  let rng = Random.State.make [| 71 |] in
+  let g = Gen.erdos_renyi rng ~n:90 ~p:0.08 () in
+  let r = Slt.build ~rng g ~rt:2 ~epsilon:0.5 in
+  let len = (2 * Graph.n g) - 1 in
+  check "positions in range" true
+    (List.for_all (fun j -> j >= 0 && j < len) r.Slt.break_positions);
+  check "sorted unique" true
+    (r.Slt.break_positions = List.sort_uniq Int.compare r.Slt.break_positions);
+  check "position 0 (rt) is a break point" true (List.mem 0 r.Slt.break_positions)
+
+let test_smaller_epsilon_more_break_points () =
+  let rng = Random.State.make [| 72 |] in
+  let g = Gen.erdos_renyi rng ~n:100 ~p:0.08 () in
+  let count eps =
+    List.length (Slt.build ~rng g ~rt:0 ~epsilon:eps).Slt.break_positions
+  in
+  (* Monotone trend: eps=0.1 should give at least as many break points
+     as eps=1.0 (randomized SPT, so compare loosely). *)
+  check "more break points at smaller eps" true (count 0.1 >= count 1.0)
+
+let test_slt_star_is_spt () =
+  (* On a star all SPT paths are single edges: the SLT is the star. *)
+  let g = Gen.star 20 in
+  let rng = Random.State.make [| 73 |] in
+  let r = Slt.build ~rng g ~rt:0 ~epsilon:0.5 in
+  check "slt = star" true
+    (Stats.tree_root_stretch g r.Slt.tree ~root:0 = 1.0)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "ln_slt"
+    [
+      ( "distributed",
+        [
+          Alcotest.test_case "basic" `Quick test_slt_basic;
+          qcheck prop_slt_bounds;
+          qcheck prop_slt_structured;
+          Alcotest.test_case "beats extremes" `Quick test_slt_beats_extremes;
+          Alcotest.test_case "ledger phases" `Quick test_ledger_phases;
+        ] );
+      ( "light-regime",
+        [
+          Alcotest.test_case "basic" `Quick test_build_light_regime;
+          qcheck prop_build_light;
+        ] );
+      ( "kry95",
+        [ Alcotest.test_case "basic" `Quick test_kry95; qcheck prop_kry95_bounds ] );
+      ( "structure",
+        [
+          Alcotest.test_case "break positions" `Quick test_break_positions_valid;
+          Alcotest.test_case "epsilon monotone" `Quick test_smaller_epsilon_more_break_points;
+          Alcotest.test_case "star" `Quick test_slt_star_is_spt;
+        ] );
+    ]
