@@ -1,0 +1,23 @@
+.PHONY: all build test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+# Tier-1 gate: unit/property tests plus the engine differential smoke bench.
+test:
+	dune runtest
+
+# Full benchmark-regression run: differential checker, workload suite at
+# n in {1k, 4k, 16k}, and the before/after headline. Writes BENCH_congest.json.
+bench:
+	dune exec bench/engine_bench.exe
+
+# Quick differential + throughput sanity check (n = 256, well under 30s).
+# Also runs as part of `dune runtest` via the @bench-smoke alias.
+bench-smoke:
+	dune build @bench-smoke
+
+clean:
+	dune clean

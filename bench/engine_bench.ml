@@ -1,0 +1,576 @@
+(* Benchmark + regression harness for the CONGEST engine.
+
+   Three jobs, all in one binary so CI runs them together:
+
+   1. Differential checker: every algorithm family in the library is
+      run on both engine backends (the arena/active-set fast path and
+      the list-based reference path) and the results — final outputs,
+      engine statistics, round counts — must match exactly.
+
+   2. Workload suite: BFS, tree broadcast, Borůvka MST and the light
+      spanner on Erdős–Rényi and random-geometric graphs, reporting
+      engine throughput (rounds/sec, messages/sec) and peak arena
+      footprint from the engine's perf counters.
+
+   3. Before/after headline: the BFS-on-ER workload timed on the
+      reference ("before", the seed engine) and fast ("after") paths —
+      best-of-blocks wall clock plus a Bechamel per-run estimate — and
+      the resulting speedup.
+
+   Output goes to BENCH_congest.json (hand-rolled JSON; the image has
+   no yojson). `--smoke` shrinks everything to n=256 so the whole
+   binary finishes in a few seconds; the dune `bench-smoke` alias runs
+   that mode as part of `dune runtest`. *)
+
+open Lightnet
+
+let spf = Printf.sprintf
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON emitter. *)
+
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (spf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec emit b ~indent t =
+    let pad k = String.make k ' ' in
+    match t with
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string b (spf "%.6g" f)
+      else Buffer.add_string b "null"
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+      Buffer.add_string b "[";
+      List.iteri
+        (fun i x ->
+          Buffer.add_string b (if i = 0 then "" else ", ");
+          emit b ~indent x)
+        xs;
+      Buffer.add_string b "]"
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 2));
+          Buffer.add_string b (spf "\"%s\": " (escape k));
+          emit b ~indent:(indent + 2) v)
+        kvs;
+      Buffer.add_string b (spf "\n%s}" (pad indent))
+
+  let to_string t =
+    let b = Buffer.create 4096 in
+    emit b ~indent:0 t;
+    Buffer.add_char b '\n';
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark graphs — the repo-wide generator conventions. *)
+
+let er ~seed n =
+  Gen.ensure_connected
+    (Random.State.make [| seed; 101 |])
+    (Gen.erdos_renyi (Random.State.make [| seed; 1 |]) ~n ~p:(8.0 /. float_of_int n) ())
+
+let geo ~seed n =
+  Gen.ensure_connected
+    (Random.State.make [| seed; 102 |])
+    (fst
+       (Gen.random_geometric
+          (Random.State.make [| seed; 2 |])
+          ~n
+          ~radius:(2.2 /. Float.sqrt (float_of_int n))
+          ()))
+
+(* ------------------------------------------------------------------ *)
+(* Differential checker.
+
+   Each family is a closure producing a textual digest of everything
+   observable: the algorithm's output projected to plain data, engine
+   round counts, message counts, ledger totals. Run under both
+   backends, digests must be equal byte-for-byte. Floats are printed
+   with %.17g, so any drift in message ordering or state evolution
+   shows up. *)
+
+let buf_stats b (st : Engine.stats) =
+  Buffer.add_string b
+    (spf "|stats r=%d m=%d w=%d mel=%d oc=%s" st.Engine.rounds st.Engine.messages
+       st.Engine.total_words st.Engine.max_edge_load
+       (match st.Engine.outcome with
+       | Engine.Converged -> "c"
+       | Engine.Round_limit -> "l"))
+
+let buf_float b f = Buffer.add_string b (spf "%.17g;" f)
+let buf_int b i = Buffer.add_string b (spf "%d;" i)
+
+let buf_ledger b l =
+  Buffer.add_string b
+    (spf "|ledger n=%d c=%d" (Ledger.native_total l) (Ledger.charged_total l))
+
+let digest_of f =
+  let b = Buffer.create 1024 in
+  f b;
+  Buffer.contents b
+
+type check = { family : string; run : unit -> string }
+
+let checks () =
+  let g_er = er ~seed:7 48 in
+  let g_geo = geo ~seed:9 40 in
+  let tree_of g = fst (Bfs.tree g ~root:0) in
+  [
+    {
+      family = "bfs";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              List.iter
+                (fun g ->
+                  let t, st = Bfs.tree g ~root:0 in
+                  for v = 0 to Graph.n g - 1 do
+                    match Tree.parent t v with
+                    | None -> buf_int b (-1)
+                    | Some (p, e) ->
+                      buf_int b p;
+                      buf_int b e
+                  done;
+                  buf_stats b st)
+                [ g_er; g_geo ]));
+    };
+    {
+      family = "broadcast";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let t = tree_of g_er in
+              let all, st1 =
+                Broadcast.all_to_all g_er ~tree:t
+                  ~items:(Array.init (Graph.n g_er) (fun v -> if v mod 7 = 0 then [ v; v * 3 ] else []))
+              in
+              Array.iter (fun l -> List.iter (buf_int b) l) all;
+              buf_stats b st1;
+              let down, st2 = Broadcast.downcast g_er ~tree:t ~items:[ 1; 2; 3; 4 ] in
+              Array.iter (fun l -> List.iter (buf_int b) l) down;
+              buf_stats b st2;
+              let gat, st3 =
+                Broadcast.gather g_er ~tree:t
+                  ~items:(Array.init (Graph.n g_er) (fun v -> if v mod 5 = 1 then [ v ] else []))
+              in
+              Array.iter (fun l -> List.iter (buf_int b) l) gat;
+              buf_stats b st3));
+    };
+    {
+      family = "convergecast";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let t = tree_of g_geo in
+              let total, st =
+                Convergecast.aggregate g_geo ~tree:t ~value:(fun v -> v * v) ~combine:( + )
+              in
+              buf_int b total;
+              buf_stats b st;
+              let mx, st2 =
+                Convergecast.aggregate_all g_geo ~tree:t ~value:Fun.id ~combine:max
+              in
+              buf_int b mx;
+              buf_stats b st2));
+    };
+    {
+      family = "exchange";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let vals = Array.init (Graph.n g_er) (fun v -> (v * 13) mod 29) in
+              let tbl, st = Exchange.ints g_er vals in
+              Array.iter (fun l -> List.iter (fun (e, x) -> buf_int b e; buf_int b x) l) tbl;
+              buf_stats b st;
+              let fv = Array.init (Graph.n g_geo) (fun v -> float_of_int v *. 0.37) in
+              let tbl2, st2 = Exchange.floats g_geo fv in
+              Array.iter (fun l -> List.iter (fun (e, x) -> buf_int b e; buf_float b x) l) tbl2;
+              buf_stats b st2));
+    };
+    {
+      family = "keyed";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let t = tree_of g_er in
+              let tbl, st =
+                Keyed.global_best g_er ~tree:t ~nkeys:8
+                  ~local:(fun v -> [ (v mod 8, (v * 7) mod 31) ])
+                  ~better:(fun a b -> a < b)
+              in
+              Array.iter (function None -> buf_int b (-1) | Some x -> buf_int b x) tbl;
+              buf_stats b st));
+    };
+    {
+      family = "boruvka-mst";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              List.iter
+                (fun g ->
+                  let d = Dist_mst.run g in
+                  List.iter (buf_int b) d.Dist_mst.mst_edges;
+                  buf_ledger b d.Dist_mst.ledger)
+                [ g_er; g_geo ]));
+    };
+    {
+      family = "euler-tour";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let d = Dist_mst.run g_er in
+              let tour = Euler_dist.run d ~rt:3 in
+              buf_float b tour.Euler_dist.total;
+              Array.iter
+                (fun (a, z) ->
+                  buf_float b a;
+                  buf_float b z)
+                tour.Euler_dist.interval;
+              buf_ledger b d.Dist_mst.ledger));
+    };
+    {
+      family = "bellman-ford";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let r, st = Bellman_ford.sssp g_geo ~src:1 in
+              Array.iter (buf_float b) r.Bellman_ford.dist;
+              Array.iter (buf_int b) r.Bellman_ford.parent_edge;
+              buf_stats b st));
+    };
+    {
+      family = "hub-sssp";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let bfs = tree_of g_er in
+              let h =
+                Hub_sssp.run ~rng:(Random.State.make [| 3; 4 |]) g_er ~bfs ~src:2
+              in
+              Array.iter (buf_float b) h.Hub_sssp.dist;
+              List.iter (buf_int b) h.Hub_sssp.hubs;
+              buf_ledger b h.Hub_sssp.ledger));
+    };
+    {
+      family = "slt";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let t =
+                Slt.build ~rng:(Random.State.make [| 5; 6 |]) g_er ~rt:0 ~epsilon:0.5
+              in
+              List.iter (buf_int b) t.Slt.edges;
+              List.iter (buf_int b) t.Slt.break_positions;
+              buf_ledger b t.Slt.ledger));
+    };
+    {
+      family = "baswana-sen";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let s =
+                Baswana_sen.build ~rng:(Random.State.make [| 8; 9 |]) ~k:3 g_er
+              in
+              List.iter (buf_int b) s.Baswana_sen.edges;
+              buf_int b s.Baswana_sen.rounds));
+    };
+    {
+      family = "light-spanner";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let sp =
+                Light_spanner.build
+                  ~rng:(Random.State.make [| 11; 12 |])
+                  g_er ~k:2 ~epsilon:0.25
+              in
+              List.iter (buf_int b) sp.Light_spanner.edges;
+              buf_int b sp.Light_spanner.light_bucket_edges;
+              buf_int b sp.Light_spanner.bucket_edges;
+              buf_ledger b sp.Light_spanner.ledger));
+    };
+    {
+      family = "net";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let bfs = tree_of g_geo in
+              let nt =
+                Net.build ~rng:(Random.State.make [| 13; 14 |]) g_geo ~bfs ~radius:0.4
+                  ~delta:0.5
+              in
+              List.iter (buf_int b) nt.Net.points;
+              buf_int b nt.Net.iterations;
+              buf_ledger b nt.Net.ledger));
+    };
+    {
+      family = "doubling-spanner";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let sp =
+                Doubling_spanner.build ~rng:(Random.State.make [| 15; 16 |]) g_geo
+                  ~epsilon:0.5
+              in
+              List.iter (buf_int b) sp.Doubling_spanner.edges;
+              buf_ledger b sp.Doubling_spanner.ledger));
+    };
+    {
+      family = "mst-weight";
+      run =
+        (fun () ->
+          digest_of (fun b ->
+              let bfs = tree_of g_er in
+              let e =
+                Mst_weight.estimate ~rng:(Random.State.make [| 17; 18 |]) g_er ~bfs
+                  ~alpha:2.0
+              in
+              List.iter
+                (fun (s, c) ->
+                  buf_float b s;
+                  buf_int b c)
+                e.Mst_weight.levels;
+              buf_ledger b e.Mst_weight.ledger));
+    };
+  ]
+
+let run_differential () =
+  Printf.printf "differential checker: fast vs reference on every family\n%!";
+  let failures = ref [] in
+  let cs = checks () in
+  List.iter
+    (fun c ->
+      let fast = Engine.with_backend Engine.Fast c.run in
+      let refe = Engine.with_backend Engine.Reference c.run in
+      if String.equal fast refe then Printf.printf "  [eq] %-16s (%d bytes)\n%!" c.family (String.length fast)
+      else begin
+        Printf.printf "  [MISMATCH] %s\n%!" c.family;
+        failures := c.family :: !failures
+      end)
+    cs;
+  (List.length cs, List.rev !failures)
+
+(* ------------------------------------------------------------------ *)
+(* Workload suite. *)
+
+let measure f =
+  let before = Engine.snapshot_totals () in
+  f ();
+  Engine.totals_since before
+
+let perf_json (p : Engine.perf) =
+  Json.Obj
+    [
+      ("rounds", Json.Int p.Engine.rounds);
+      ("messages", Json.Int p.Engine.messages);
+      ("words", Json.Int p.Engine.words);
+      ("engine_wall_s", Json.Float p.Engine.wall);
+      ("rounds_per_sec", Json.Float (Engine.rounds_per_sec p));
+      ("messages_per_sec", Json.Float (Engine.messages_per_sec p));
+      ("skip_ratio", Json.Float (Engine.skip_ratio p));
+      ("steps", Json.Int p.Engine.steps);
+      ("peak_arena_slots", Json.Int p.Engine.arena_cap);
+      (* 4 words per slot: from, edge, payload, link. *)
+      ("peak_arena_words", Json.Int (4 * p.Engine.arena_cap));
+      ("arena_grows", Json.Int p.Engine.arena_grows);
+    ]
+
+let workloads g =
+  [
+    ("bfs", fun () -> for _ = 1 to 10 do ignore (Bfs.tree g ~root:0) done);
+    ( "broadcast",
+      let tree = fst (Bfs.tree g ~root:0) in
+      fun () -> ignore (Broadcast.downcast g ~tree ~items:(List.init 64 Fun.id)) );
+    ("boruvka", fun () -> ignore (Dist_mst.run g));
+    ( "spanner",
+      fun () ->
+        ignore
+          (Light_spanner.build ~rng:(Random.State.make [| Graph.n g; 5 |]) g ~k:2
+             ~epsilon:0.25) );
+  ]
+
+let run_suite sizes =
+  let rows = ref [] in
+  List.iter
+    (fun (gname, mk) ->
+      List.iter
+        (fun n ->
+          let g = mk n in
+          List.iter
+            (fun (fname, f) ->
+              let p = measure f in
+              Printf.printf "  %-3s n=%-6d %-9s %6d rounds %9d msgs %8.0f rounds/s %10.0f msgs/s skip %4.1f%%\n%!"
+                gname n fname p.Engine.rounds p.Engine.messages
+                (Engine.rounds_per_sec p) (Engine.messages_per_sec p)
+                (100.0 *. Engine.skip_ratio p);
+              rows :=
+                Json.Obj
+                  (("graph", Json.Str gname)
+                   :: ("n", Json.Int n)
+                   :: ("m", Json.Int (Graph.m g))
+                   :: ("family", Json.Str fname)
+                   :: ("backend", Json.Str "fast")
+                   ::
+                   (match perf_json p with Json.Obj kv -> kv | _ -> []))
+                :: !rows)
+            (workloads g))
+        sizes)
+    [ ("er", fun n -> er ~seed:1 n); ("geo", fun n -> geo ~seed:1 n) ];
+  List.rev !rows
+
+(* ------------------------------------------------------------------ *)
+(* Headline before/after: BFS on ER, reference vs fast. *)
+
+let best_block ~blocks ~reps run =
+  (* Best-of-blocks engine wall: robust against scheduler noise on a
+     shared machine. Returns (best perf over one block). *)
+  let best : Engine.perf option ref = ref None in
+  for _ = 1 to blocks do
+    let p = measure (fun () -> for _ = 1 to reps do run () done) in
+    match !best with
+    | Some b when b.Engine.wall <= p.Engine.wall -> ()
+    | _ -> best := Some p
+  done;
+  Option.get !best
+
+let bechamel_ns ~quota name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) res [] with
+  | [ v ] -> (
+    match Analyze.OLS.estimates v with Some [ ns ] -> ns | _ -> nan)
+  | _ -> nan
+
+let run_headline ~n ~blocks ~reps ~quota =
+  let g = er ~seed:1 n in
+  Printf.printf "headline: BFS on ER n=%d m=%d (best of %d blocks x %d runs)\n%!" n
+    (Graph.m g) blocks reps;
+  let side backend label =
+    Engine.with_backend backend (fun () ->
+        (* Compact away the workload suite's garbage so both sides
+           measure against the same (small) live heap. *)
+        Gc.compact ();
+        ignore (Bfs.tree g ~root:0) (* warm the scratch/caches *);
+        let p = best_block ~blocks ~reps (fun () -> ignore (Bfs.tree g ~root:0)) in
+        let ns = bechamel_ns ~quota label (fun () -> ignore (Bfs.tree g ~root:0)) in
+        Printf.printf "  %-9s %8.0f rounds/s %11.0f msgs/s %12.0f ns/run (bechamel)\n%!"
+          label (Engine.rounds_per_sec p) (Engine.messages_per_sec p) ns;
+        (p, ns))
+  in
+  let ref_p, ref_ns = side Engine.Reference "reference" in
+  let fast_p, fast_ns = side Engine.Fast "fast" in
+  let speedup = Engine.rounds_per_sec fast_p /. Engine.rounds_per_sec ref_p in
+  Printf.printf "  speedup (rounds/sec, fast vs reference): %.2fx\n%!" speedup;
+  let sidej (p, ns) backend =
+    Json.Obj
+      (("backend", Json.Str backend)
+       :: ("bechamel_ns_per_run", Json.Float ns)
+       :: (match perf_json p with Json.Obj kv -> kv | _ -> []))
+  in
+  Json.Obj
+    [
+      ("workload", Json.Str "bfs-er");
+      ("n", Json.Int n);
+      ("m", Json.Int (Graph.m g));
+      ("blocks", Json.Int blocks);
+      ("runs_per_block", Json.Int reps);
+      ("before", sidej (ref_p, ref_ns) "reference");
+      ("after", sidej (fast_p, fast_ns) "fast");
+      ("speedup_rounds_per_sec", Json.Float speedup);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Array.iteri
+    (fun i arg ->
+      if i > 0 && arg <> "--smoke" && arg <> "--headline-only" then begin
+        Printf.eprintf "engine_bench: unknown argument %s\nusage: %s [--smoke] [--headline-only]\n"
+          arg Sys.argv.(0);
+        exit 2
+      end)
+    Sys.argv;
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  let headline_only = Array.exists (String.equal "--headline-only") Sys.argv in
+  let sizes = if smoke then [ 256 ] else [ 1024; 4096; 16384 ] in
+  let headline_n = if smoke then 256 else 16384 in
+  let blocks = if smoke then 4 else 8 in
+  let reps = 5 in
+  let quota = if smoke then 0.2 else 1.0 in
+  Printf.printf "engine_bench (%s mode)\n%!" (if smoke then "smoke" else "full");
+  let nchecks, failures =
+    if headline_only then (0, []) else run_differential ()
+  in
+  let suite =
+    if headline_only then []
+    else begin
+      Printf.printf "workload suite (fast backend)\n%!";
+      run_suite sizes
+    end
+  in
+  let headline = run_headline ~n:headline_n ~blocks ~reps ~quota in
+  let json =
+    Json.Obj
+      [
+        ( "meta",
+          Json.Obj
+            [
+              ("mode", Json.Str (if smoke then "smoke" else "full"));
+              ("word_size", Json.Int Sys.word_size);
+              ("ocaml", Json.Str Sys.ocaml_version);
+            ] );
+        ( "differential",
+          Json.Obj
+            [
+              ("checks", Json.Int nchecks);
+              ("failures", Json.List (List.map (fun f -> Json.Str f) failures));
+              ("equivalent", Json.Bool (failures = []));
+            ] );
+        ("workloads", Json.List suite);
+        ("headline", headline);
+      ]
+  in
+  let oc = open_out "BENCH_congest.json" in
+  output_string oc (Json.to_string json);
+  close_out oc;
+  Printf.printf "wrote BENCH_congest.json\n%!";
+  if failures <> [] then begin
+    Printf.printf "DIFFERENTIAL FAILURES: %s\n%!" (String.concat ", " failures);
+    exit 1
+  end

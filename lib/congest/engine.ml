@@ -21,16 +21,121 @@ type ('s, 'm) program = {
 
 type observer = round:int -> from:int -> dest:int -> words:int -> unit
 
+type outcome = Converged | Round_limit
+
 type stats = {
   rounds : int;
   messages : int;
   total_words : int;
   max_edge_load : int;
+  outcome : outcome;
 }
+
+type perf = {
+  mutable runs : int;
+  mutable rounds : int;
+  mutable steps : int;
+  mutable skipped : int;
+  mutable messages : int;
+  mutable words : int;
+  mutable wall : float;
+  mutable arena_cap : int;
+  mutable arena_grows : int;
+}
+
+let create_perf () =
+  {
+    runs = 0;
+    rounds = 0;
+    steps = 0;
+    skipped = 0;
+    messages = 0;
+    words = 0;
+    wall = 0.0;
+    arena_cap = 0;
+    arena_grows = 0;
+  }
+
+let copy_perf p = { p with runs = p.runs }
+
+(* Cumulative counters across every run in the process, so algorithms
+   can attribute simulator work to their ledgers without threading a
+   [perf] through every primitive signature (see [snapshot_totals]). *)
+let totals = create_perf ()
+
+let snapshot_totals () = copy_perf totals
+
+let totals_since before =
+  {
+    runs = totals.runs - before.runs;
+    rounds = totals.rounds - before.rounds;
+    steps = totals.steps - before.steps;
+    skipped = totals.skipped - before.skipped;
+    messages = totals.messages - before.messages;
+    words = totals.words - before.words;
+    wall = totals.wall -. before.wall;
+    arena_cap = max totals.arena_cap before.arena_cap;
+    arena_grows = totals.arena_grows - before.arena_grows;
+  }
+
+let add_perf ~into p =
+  into.runs <- into.runs + p.runs;
+  into.rounds <- into.rounds + p.rounds;
+  into.steps <- into.steps + p.steps;
+  into.skipped <- into.skipped + p.skipped;
+  into.messages <- into.messages + p.messages;
+  into.words <- into.words + p.words;
+  into.wall <- into.wall +. p.wall;
+  into.arena_cap <- max into.arena_cap p.arena_cap;
+  into.arena_grows <- into.arena_grows + p.arena_grows
+
+let skip_ratio p =
+  let scanned = p.steps + p.skipped in
+  if scanned = 0 then 0.0 else float_of_int p.skipped /. float_of_int scanned
+
+let rounds_per_sec p =
+  if p.wall <= 0.0 then 0.0 else float_of_int p.rounds /. p.wall
+
+let messages_per_sec p =
+  if p.wall <= 0.0 then 0.0 else float_of_int p.messages /. p.wall
+
+let pp_perf ppf p =
+  Format.fprintf ppf
+    "runs=%d rounds=%d steps=%d skipped=%d (skip %.1f%%) msgs=%d wall=%.3fs \
+     (%.0f rounds/s, %.0f msgs/s) arena=%d words, %d grows"
+    p.runs p.rounds p.steps p.skipped
+    (100.0 *. skip_ratio p)
+    p.messages p.wall (rounds_per_sec p) (messages_per_sec p) p.arena_cap
+    p.arena_grows
 
 let violation fmt = Format.kasprintf (fun s -> raise (Congest_violation s)) fmt
 
-let run ?(word_cap = 4) ?(max_rounds = 10_000_000) ?observer g p =
+let finish_perf perf ~rounds ~steps ~skipped ~messages ~words ~wall ~arena_cap
+    ~arena_grows =
+  let record p =
+    p.runs <- p.runs + 1;
+    p.rounds <- p.rounds + rounds;
+    p.steps <- p.steps + steps;
+    p.skipped <- p.skipped + skipped;
+    p.messages <- p.messages + messages;
+    p.words <- p.words + words;
+    p.wall <- p.wall +. wall;
+    p.arena_cap <- max p.arena_cap arena_cap;
+    p.arena_grows <- p.arena_grows + arena_grows
+  in
+  record totals;
+  match perf with Some p -> record p | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine: the original list-inbox, hashtable-tracked
+   implementation. Semantics are the specification; the fast engine
+   below must be observationally identical (states, stats, observer
+   call sequence). Kept as the accounting-strict differential baseline
+   and as the "before" side of bench/engine_bench. *)
+
+let run_reference ?(word_cap = 4) ?(max_rounds = 10_000_000)
+    ?(on_round_limit = `Raise) ?observer ?perf g p =
+  let t0 = Unix.gettimeofday () in
   let n = Graph.n g in
   let ctx_of v =
     { n; me = v; neighbors = Graph.neighbors g v; weight = Graph.weight g }
@@ -45,6 +150,8 @@ let run ?(word_cap = 4) ?(max_rounds = 10_000_000) ?observer g p =
   let total_words = ref 0 in
   let max_edge_load = ref 0 in
   let in_flight = ref 0 in
+  let steps = ref 0 in
+  let skipped = ref 0 in
   (* Tracks, per round, words sent per (edge, direction) for cap
      enforcement. Key: edge * 2 + dir. *)
   let sent_this_round = Hashtbl.create 64 in
@@ -97,24 +204,459 @@ let run ?(word_cap = 4) ?(max_rounds = 10_000_000) ?observer g p =
     for v = 0 to n - 1 do
       let msgs = inbox.(v) in
       if active.(v) || msgs <> [] then begin
+        incr steps;
         let s, outs, still = p.step ctxs.(v) ~round:!rounds states.(v) msgs in
         states.(v) <- s;
         active.(v) <- still;
         if still then any_active := true;
         deliver ~sender:v outs
-      end;
+      end
+      else incr skipped;
       inbox.(v) <- []
     done;
     continue := !in_flight > 0 || !any_active
   done;
+  let outcome = if !continue then Round_limit else Converged in
+  if outcome = Round_limit && on_round_limit = `Raise then
+    violation "%s: round limit %d reached without quiescence" p.name max_rounds;
+  finish_perf perf ~rounds:!rounds ~steps:!steps ~skipped:!skipped
+    ~messages:!messages ~words:!total_words
+    ~wall:(Unix.gettimeofday () -. t0)
+    ~arena_cap:0 ~arena_grows:0;
   ( states,
     {
       rounds = !rounds;
       messages = !messages;
       total_words = !total_words;
       max_edge_load = !max_edge_load;
+      outcome;
     } )
 
-let pp_stats ppf s =
-  Format.fprintf ppf "rounds=%d msgs=%d words=%d max_edge_load=%d" s.rounds s.messages
-    s.total_words s.max_edge_load
+(* ------------------------------------------------------------------ *)
+(* Fast engine.
+
+   Same observable behaviour as [run_reference], engineered for
+   throughput:
+
+   - Arena mailboxes: in-flight messages live in a flat, reused
+     [received] slot array; per-destination inboxes are intrusive index
+     chains ([link] / [head]), so delivery is two array stores and
+     steady-state rounds reuse the same buffers instead of churning
+     per-node lists through the GC. Two arenas (current / next round)
+     swap in O(1).
+
+   - Generation-stamped cap tracking: the per-round duplicate-send
+     check is one compare against a per-(edge,direction) int array
+     stamped with the round number — no hashing, no per-round reset.
+
+   - Active-set scheduling: a worklist holds exactly the nodes that
+     are active or have pending messages; quiescent nodes cost nothing
+     instead of an O(n) scan per round. The worklist is sorted each
+     round so nodes step in ascending id order, which makes the
+     observer call sequence and inbox list order bit-identical to the
+     reference engine. *)
+
+(* In-place quicksort (insertion sort below 16) on [a.(0 .. len-1)];
+   avoids the Array.sub + Array.sort copy on the hot path. *)
+let sort_prefix a len =
+  let rec qsort lo hi =
+    if hi - lo < 16 then
+      for i = lo + 1 to hi do
+        let x = a.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && a.(!j) > x do
+          a.(!j + 1) <- a.(!j);
+          decr j
+        done;
+        a.(!j + 1) <- x
+      done
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      (* median-of-three pivot *)
+      if a.(mid) < a.(lo) then (let t = a.(lo) in a.(lo) <- a.(mid); a.(mid) <- t);
+      if a.(hi) < a.(lo) then (let t = a.(lo) in a.(lo) <- a.(hi); a.(hi) <- t);
+      if a.(hi) < a.(mid) then (let t = a.(mid) in a.(mid) <- a.(hi); a.(hi) <- t);
+      let pivot = a.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while a.(!i) < pivot do incr i done;
+        while a.(!j) > pivot do decr j done;
+        if !i <= !j then begin
+          let t = a.(!i) in
+          a.(!i) <- a.(!j);
+          a.(!j) <- t;
+          incr i;
+          decr j
+        end
+      done;
+      if lo < !j then qsort lo !j;
+      if !i < hi then qsort !i hi
+    end
+  in
+  if len > 1 then qsort 0 (len - 1)
+
+(* Mailbox arena, unboxed: parallel arrays instead of an array of
+   [received] records. Storing a freshly allocated record into a
+   long-lived array would drag every message through the write barrier
+   and promote it to the major heap at the next minor collection; with
+   the fields split out, the int stores are barrier-free and the
+   [received] record is only materialized in [inbox_of], immediately
+   before [step] consumes it — it dies young in the minor heap. *)
+type 'm arena = {
+  mutable from_ : int array;
+  mutable edge_ : int array;
+  mutable payload : 'm array;
+  mutable link : int array;
+  mutable len : int;
+}
+
+(* Per-graph scratch state, reused across runs on the same graph (the
+   common shape: one graph, many engine invocations). Everything in
+   here is monomorphic — message-typed buffers (the arenas) stay
+   per-run. [stamp] makes [sent_round] validity monotonic across runs,
+   so the 2m-entry array is written once per graph and never reset.
+   One slot, keyed by physical equality; [busy] falls back to fresh
+   allocation under reentrancy (a program stepping the engine). *)
+type scratch = {
+  sg : Graph.t;
+  eu : int array;  (* edge id -> endpoint u *)
+  ev : int array;  (* edge id -> endpoint v *)
+  ctxs : ctx array;
+  s_active : bool array;
+  s_queued : bool array;
+  sent_round : int array;
+  s_wl_cur : int array;
+  s_wl_nxt : int array;
+  head_a : int array;
+  head_b : int array;
+  (* Cached arena int columns (two arenas); the payload column is
+     message-typed and must stay per-run, but these keep their steady-
+     state capacity across runs so warm runs do a single full-size
+     payload allocation and no capacity growth at all. *)
+  mutable a_from : int array;
+  mutable a_edge : int array;
+  mutable a_link : int array;
+  mutable b_from : int array;
+  mutable b_edge : int array;
+  mutable b_link : int array;
+  mutable stamp : int;
+  mutable busy : bool;
+}
+
+let scratch_slot : scratch option ref = ref None
+
+let make_scratch g =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let eu = Array.make (max m 1) (-1) in
+  let ev = Array.make (max m 1) (-1) in
+  for id = 0 to m - 1 do
+    let e = Graph.edge g id in
+    eu.(id) <- e.Graph.u;
+    ev.(id) <- e.Graph.v
+  done;
+  let wf = Graph.weight g in
+  {
+    sg = g;
+    eu;
+    ev;
+    ctxs =
+      Array.init n (fun v ->
+          { n; me = v; neighbors = Graph.neighbors g v; weight = wf });
+    s_active = Array.make (max n 1) true;
+    s_queued = Array.make (max n 1) false;
+    sent_round = Array.make (max 1 (2 * m)) (-1);
+    s_wl_cur = Array.make (max n 1) 0;
+    s_wl_nxt = Array.make (max n 1) 0;
+    head_a = Array.make (max n 1) (-1);
+    head_b = Array.make (max n 1) (-1);
+    a_from = [||];
+    a_edge = [||];
+    a_link = [||];
+    b_from = [||];
+    b_edge = [||];
+    b_link = [||];
+    stamp = 0;
+    busy = false;
+  }
+
+(* Acquire scratch for [g]: cache hit resets the per-run arrays (the
+   worklists and [sent_round] need no reset — the former are fully
+   overwritten, the latter is stamp-guarded). *)
+let acquire_scratch g =
+  match !scratch_slot with
+  | Some s when s.sg == g && not s.busy ->
+    s.busy <- true;
+    Array.fill s.s_active 0 (Array.length s.s_active) true;
+    Array.fill s.s_queued 0 (Array.length s.s_queued) false;
+    Array.fill s.head_a 0 (Array.length s.head_a) (-1);
+    Array.fill s.head_b 0 (Array.length s.head_b) (-1);
+    s
+  | _ ->
+    let s = make_scratch g in
+    s.busy <- true;
+    (match !scratch_slot with
+    | Some old when old.busy -> ()  (* keep the slot of the outer run *)
+    | _ -> scratch_slot := Some s);
+    s
+
+let release_scratch s ~stamp =
+  s.stamp <- stamp;
+  s.busy <- false
+
+let run_fast ?(word_cap = 4) ?(max_rounds = 10_000_000)
+    ?(on_round_limit = `Raise) ?observer ?perf g p =
+  let t0 = Unix.gettimeofday () in
+  let n = Graph.n g in
+  let sc = acquire_scratch g in
+  let ctxs = sc.ctxs in
+  let active = sc.s_active in
+  let eu = sc.eu and ev = sc.ev in
+  (* Last stamp at which each (edge, direction) carried a message;
+     comparing against the current stamp replaces the reference
+     engine's per-round hashtable. Stamps are monotonic across runs
+     ([sc.stamp] + round), so the array never needs resetting. *)
+  let sent_round = sc.sent_round in
+  let stamp_base = sc.stamp in
+  let last_stamp = ref stamp_base in
+  (* Double-buffered arenas: [cur] holds messages being consumed this
+     round, [nxt] collects sends for the next one. [head_*.(v)] is the
+     first slot index of v's inbox chain (-1 = empty). Int columns come
+     from the scratch cache; payloads are message-typed, so that column
+     is allocated per run (in one shot once the capacity is warm). *)
+  let cur =
+    ref { from_ = sc.a_from; edge_ = sc.a_edge; payload = [||]; link = sc.a_link; len = 0 }
+  in
+  let nxt =
+    ref { from_ = sc.b_from; edge_ = sc.b_edge; payload = [||]; link = sc.b_link; len = 0 }
+  in
+  (* The scratch must go back to the cache on every exit path —
+     including model violations and exceptions raised by program code —
+     or the slot would stay marked busy and disable reuse. Grown arena
+     columns are written back so the capacity ratchets up. *)
+  Fun.protect
+    ~finally:(fun () ->
+      let a = !cur and b = !nxt in
+      sc.a_from <- a.from_;
+      sc.a_edge <- a.edge_;
+      sc.a_link <- a.link;
+      sc.b_from <- b.from_;
+      sc.b_edge <- b.edge_;
+      sc.b_link <- b.link;
+      release_scratch sc ~stamp:(!last_stamp + 1))
+  @@ fun () ->
+  let head_cur = ref sc.head_a in
+  let head_nxt = ref sc.head_b in
+  let arena_grows = ref 0 in
+  (* The payload column is the limiting one (the int columns may carry
+     cached capacity from earlier runs). Its first allocation jumps
+     straight to the cached capacity; [arena_grows] counts only true
+     capacity growth, so it stays 0 in steady state. [fill] is the
+     message being delivered: using it to seed the new payload array
+     keeps the code [Obj.magic]-free (and float-array safe) without
+     requiring a dummy ['m]. *)
+  let grow arena (fill : 'm) =
+    let old = Array.length arena.payload in
+    let cap = if old = 0 then max 64 (Array.length arena.link) else 2 * old in
+    let payload = Array.make cap fill in
+    Array.blit arena.payload 0 payload 0 arena.len;
+    arena.payload <- payload;
+    if Array.length arena.link < cap then begin
+      let from_ = Array.make cap 0 in
+      let edge_ = Array.make cap 0 in
+      let link = Array.make cap (-1) in
+      Array.blit arena.from_ 0 from_ 0 arena.len;
+      Array.blit arena.edge_ 0 edge_ 0 arena.len;
+      Array.blit arena.link 0 link 0 arena.len;
+      arena.from_ <- from_;
+      arena.edge_ <- edge_;
+      arena.link <- link;
+      incr arena_grows
+    end
+  in
+  (* Active-set worklist: nodes to step next round (active, or with a
+     pending message). [queued] marks membership in [wl_nxt]. *)
+  let wl_cur = sc.s_wl_cur in
+  let wl_cur_len = ref 0 in
+  let wl_nxt = sc.s_wl_nxt in
+  let wl_nxt_len = ref 0 in
+  let queued = sc.s_queued in
+  let push_next v =
+    if not queued.(v) then begin
+      queued.(v) <- true;
+      wl_nxt.(!wl_nxt_len) <- v;
+      incr wl_nxt_len
+    end
+  in
+  let messages = ref 0 in
+  let total_words = ref 0 in
+  let max_edge_load = ref 0 in
+  let steps = ref 0 in
+  let skipped = ref 0 in
+  let current_round = ref 0 in
+  (* Delivery is a hand-rolled recursive loop rather than [List.iter f]:
+     the iterated closure would capture [sender] plus the engine state
+     and be re-allocated on every call (once per stepped node). *)
+  let rec deliver sender outs =
+    match outs with
+    | [] -> ()
+    | { via; msg } :: rest ->
+      (* Endpoint resolution via the precomputed endpoint arrays —
+         [Graph.endpoints] would allocate a tuple per message. (An
+         out-of-range edge id raises [Invalid_argument] from the array
+         access, as it does in the reference engine.) *)
+      let dest =
+        if eu.(via) = sender then ev.(via)
+        else if ev.(via) = sender then eu.(via)
+        else violation "%s: node %d sent over non-incident edge %d" p.name sender via
+      in
+      let w = p.words msg in
+      if w > word_cap then
+        violation "%s: node %d sent %d-word message (cap %d)" p.name sender w word_cap;
+      let key = (via * 2) + if sender < dest then 0 else 1 in
+      if sent_round.(key) = !last_stamp then
+        violation "%s: node %d sent twice over edge %d in one round" p.name sender via;
+      sent_round.(key) <- !last_stamp;
+      if w > !max_edge_load then max_edge_load := w;
+      (match observer with
+      | Some f -> f ~round:!current_round ~from:sender ~dest ~words:w
+      | None -> ());
+      incr messages;
+      total_words := !total_words + w;
+      let a = !nxt in
+      if a.len = Array.length a.payload then grow a msg;
+      let idx = a.len in
+      a.len <- idx + 1;
+      a.from_.(idx) <- sender;
+      a.edge_.(idx) <- via;
+      a.payload.(idx) <- msg;
+      a.link.(idx) <- !head_nxt.(dest);
+      !head_nxt.(dest) <- idx;
+      push_next dest;
+      deliver sender rest
+  in
+  (* Round 0: init. All inits run before any delivery, then deliveries
+     go out in ascending node order — exactly the reference schedule.
+     Every node starts active, so the first worklist is all of
+     [0 .. n-1] (matching the reference engine's first scan). *)
+  let init_outs = Array.make n [] in
+  let states =
+    Array.init n (fun v ->
+        let s, outs = p.init ctxs.(v) in
+        init_outs.(v) <- outs;
+        s)
+  in
+  for v = 0 to n - 1 do
+    deliver v init_outs.(v);
+    push_next v
+  done;
+  let rounds = ref 0 in
+  while !wl_nxt_len > 0 && !rounds < max_rounds do
+    incr rounds;
+    current_round := !rounds;
+    last_stamp := stamp_base + !rounds;
+    (* Swap arenas, inbox heads and worklists. The outgoing current
+       arena is fully consumed and its head array reset entry-by-entry
+       below, so the swapped-in [nxt] structures are already clean. *)
+    let a = !cur in
+    cur := !nxt;
+    nxt := a;
+    a.len <- 0;
+    let h = !head_cur in
+    head_cur := !head_nxt;
+    head_nxt := h;
+    let wlen = !wl_nxt_len in
+    wl_nxt_len := 0;
+    (* Nodes must step in ascending id order (bit-compatibility with
+       the reference engine). For dense rounds a linear scan over the
+       membership flags is cheaper (and cache-friendlier) than sorting
+       the unordered push list; for sparse rounds, sort in place. *)
+    if 5 * wlen >= n then begin
+      let k = ref 0 in
+      for v = 0 to n - 1 do
+        if queued.(v) then begin
+          queued.(v) <- false;
+          wl_cur.(!k) <- v;
+          incr k
+        end
+      done;
+      wl_cur_len := !k
+    end
+    else begin
+      Array.blit wl_nxt 0 wl_cur 0 wlen;
+      wl_cur_len := wlen;
+      for i = 0 to wlen - 1 do
+        queued.(wl_cur.(i)) <- false
+      done;
+      sort_prefix wl_cur wlen
+    end;
+    let wlen = !wl_cur_len in
+    skipped := !skipped + (n - wlen);
+    let arena = !cur in
+    let heads = !head_cur in
+    (* Materialize an inbox chain as a list in delivery-prepend order
+       (head slot = last delivered), exactly the reference layout. *)
+    let rec inbox_of idx =
+      if idx < 0 then []
+      else
+        {
+          from = arena.from_.(idx);
+          edge = arena.edge_.(idx);
+          payload = arena.payload.(idx);
+        }
+        :: inbox_of arena.link.(idx)
+    in
+    for i = 0 to wlen - 1 do
+      let v = wl_cur.(i) in
+      let msgs = inbox_of heads.(v) in
+      heads.(v) <- -1;
+      if active.(v) || msgs <> [] then begin
+        incr steps;
+        let s, outs, still = p.step ctxs.(v) ~round:!rounds states.(v) msgs in
+        states.(v) <- s;
+        active.(v) <- still;
+        if still then push_next v;
+        deliver v outs
+      end
+    done
+  done;
+  let outcome = if !wl_nxt_len > 0 then Round_limit else Converged in
+  if outcome = Round_limit && on_round_limit = `Raise then
+    violation "%s: round limit %d reached without quiescence" p.name max_rounds;
+  finish_perf perf ~rounds:!rounds ~steps:!steps ~skipped:!skipped
+    ~messages:!messages ~words:!total_words
+    ~wall:(Unix.gettimeofday () -. t0)
+    ~arena_cap:(Array.length !cur.link + Array.length !nxt.link)
+    ~arena_grows:!arena_grows;
+  ( states,
+    {
+      rounds = !rounds;
+      messages = !messages;
+      total_words = !total_words;
+      max_edge_load = !max_edge_load;
+      outcome;
+    } )
+
+(* ------------------------------------------------------------------ *)
+
+type backend = Fast | Reference
+
+let backend = ref Fast
+let set_backend b = backend := b
+let current_backend () = !backend
+
+let with_backend b f =
+  let old = !backend in
+  backend := b;
+  Fun.protect ~finally:(fun () -> backend := old) f
+
+let run ?word_cap ?max_rounds ?on_round_limit ?observer ?perf g p =
+  match !backend with
+  | Fast -> run_fast ?word_cap ?max_rounds ?on_round_limit ?observer ?perf g p
+  | Reference ->
+    run_reference ?word_cap ?max_rounds ?on_round_limit ?observer ?perf g p
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "rounds=%d msgs=%d words=%d max_edge_load=%d%s" s.rounds
+    s.messages s.total_words s.max_edge_load
+    (match s.outcome with Converged -> "" | Round_limit -> " (round limit)")

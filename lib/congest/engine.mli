@@ -12,7 +12,14 @@
 
     Programs are written as per-node state machines over a restricted
     local view ({!ctx}): a node knows [n], its own id, its incident
-    edges and their weights, and nothing else. *)
+    edges and their weights, and nothing else.
+
+    Two observationally identical execution paths exist (see
+    DESIGN.md, "Engine internals"): {!run_fast}, the default — arena
+    mailboxes, generation-stamped cap tracking and an active-set
+    scheduler — and {!run_reference}, the simple list-based
+    specification engine kept as the differential-testing baseline.
+    {!run} dispatches on the process-wide {!backend}. *)
 
 exception Congest_violation of string
 
@@ -53,27 +60,126 @@ type ('s, 'm) program = {
     analyses; see {!val:run}. *)
 type observer = round:int -> from:int -> dest:int -> words:int -> unit
 
+(** How a run ended: quiescence, or the [max_rounds] cap. *)
+type outcome = Converged | Round_limit
+
 type stats = {
   rounds : int;  (** rounds until quiescence (or the cap) *)
   messages : int;  (** total messages delivered *)
   total_words : int;  (** total message volume in words *)
   max_edge_load : int;  (** max words on one edge-direction in a round *)
+  outcome : outcome;  (** whether the run converged or hit [max_rounds] *)
 }
+
+(** Engine-level performance counters, accumulated across runs.
+    [steps] counts node-step invocations; [skipped] counts node-rounds
+    the scheduler avoided (quiescent nodes in a live round); [wall] is
+    seconds spent inside the engine; [arena_cap] is the peak mailbox
+    arena capacity in slots and [arena_grows] the number of growth
+    events (0 once the arena reaches steady state). *)
+type perf = {
+  mutable runs : int;
+  mutable rounds : int;
+  mutable steps : int;
+  mutable skipped : int;
+  mutable messages : int;
+  mutable words : int;
+  mutable wall : float;
+  mutable arena_cap : int;
+  mutable arena_grows : int;
+}
+
+val create_perf : unit -> perf
+val copy_perf : perf -> perf
+
+(** [add_perf ~into p] accumulates [p] into [into]. *)
+val add_perf : into:perf -> perf -> unit
+
+(** Process-wide cumulative counters over every engine run. Algorithms
+    attribute simulator work to a phase by snapshotting before and
+    diffing after — no need to thread a [perf] through primitives:
+    {[
+      let before = Engine.snapshot_totals () in
+      ... (* any number of Engine.run calls *)
+      Ledger.attach_perf ledger (Engine.totals_since before)
+    ]} *)
+val totals : perf
+
+val snapshot_totals : unit -> perf
+
+(** [totals_since before] is the delta of {!totals} against a
+    {!snapshot_totals} snapshot. *)
+val totals_since : perf -> perf
+
+(** Fraction of node-rounds the active-set scheduler skipped. *)
+val skip_ratio : perf -> float
+
+val rounds_per_sec : perf -> float
+val messages_per_sec : perf -> float
+val pp_perf : Format.formatter -> perf -> unit
 
 (** [run g p] executes [p] on network [g] until quiescence (no active
     node and no message in flight) or [max_rounds].
 
     @param word_cap maximum words per message (default 4 ≈ a constant
            number of O(log n)-bit words, as in the paper).
+    @param max_rounds round cap (default 10 million).
+    @param on_round_limit what to do when [max_rounds] is hit without
+           quiescence: [`Raise] (default) raises [Congest_violation] —
+           a capped run is a bug or an explicit experiment, never a
+           silent result — [`Mark] returns normally with
+           [stats.outcome = Round_limit].
     @param observer called once per message sent.
+    @param perf if given, accumulates this run's engine counters.
     @raise Congest_violation on a model violation.
     @return final states (indexed by vertex) and statistics. *)
 val run :
   ?word_cap:int ->
   ?max_rounds:int ->
+  ?on_round_limit:[ `Raise | `Mark ] ->
   ?observer:observer ->
+  ?perf:perf ->
   Ln_graph.Graph.t ->
   ('s, 'm) program ->
   's array * stats
+
+(** The throughput engine (arena mailboxes, generation-stamped cap
+    tracking, active-set scheduling). Same signature and observable
+    behaviour as {!run_reference}. *)
+val run_fast :
+  ?word_cap:int ->
+  ?max_rounds:int ->
+  ?on_round_limit:[ `Raise | `Mark ] ->
+  ?observer:observer ->
+  ?perf:perf ->
+  Ln_graph.Graph.t ->
+  ('s, 'm) program ->
+  's array * stats
+
+(** The accounting-strict specification engine (per-destination list
+    inboxes, hashtable duplicate tracking, full O(n) scan per round).
+    Differential baseline: for any program, states, stats and the
+    observer call sequence must be identical to {!run_fast}'s. *)
+val run_reference :
+  ?word_cap:int ->
+  ?max_rounds:int ->
+  ?on_round_limit:[ `Raise | `Mark ] ->
+  ?observer:observer ->
+  ?perf:perf ->
+  Ln_graph.Graph.t ->
+  ('s, 'm) program ->
+  's array * stats
+
+(** Which implementation {!run} dispatches to (default [Fast]). The
+    switch lets the differential checker drive every algorithm in the
+    library through both paths without touching call sites. *)
+type backend = Fast | Reference
+
+val set_backend : backend -> unit
+val current_backend : unit -> backend
+
+(** [with_backend b f] runs [f ()] with the backend set to [b],
+    restoring the previous backend afterwards (also on exceptions). *)
+val with_backend : backend -> (unit -> 'a) -> 'a
 
 val pp_stats : Format.formatter -> stats -> unit

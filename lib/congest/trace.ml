@@ -3,16 +3,31 @@ type t = {
   per_link : (int * int, int) Hashtbl.t; (* (from, dest) -> msgs *)
   mutable messages : int;
   mutable words : int;
+  mutable perf : Engine.perf option;
 }
 
 let create () =
-  { per_round = Hashtbl.create 64; per_link = Hashtbl.create 64; messages = 0; words = 0 }
+  {
+    per_round = Hashtbl.create 64;
+    per_link = Hashtbl.create 64;
+    messages = 0;
+    words = 0;
+    perf = None;
+  }
 
 let reset t =
   Hashtbl.reset t.per_round;
   Hashtbl.reset t.per_link;
   t.messages <- 0;
-  t.words <- 0
+  t.words <- 0;
+  t.perf <- None
+
+let add_perf t p =
+  match t.perf with
+  | None -> t.perf <- Some (Engine.copy_perf p)
+  | Some q -> Engine.add_perf ~into:q p
+
+let perf t = t.perf
 
 let observer t : Engine.observer =
  fun ~round ~from ~dest ~words ->
@@ -43,4 +58,10 @@ let pp ppf t =
   let pr, pm = peak_round t in
   Format.fprintf ppf
     "trace: %d msgs, %d words over %d busy rounds; peak round %d (%d msgs); peak link %d msgs"
-    t.messages t.words (busy_rounds t) pr pm (peak_link t)
+    t.messages t.words (busy_rounds t) pr pm (peak_link t);
+  match t.perf with
+  | None -> ()
+  | Some p ->
+    Format.fprintf ppf "; engine %.0f rounds/s, %.0f msgs/s (skip %.1f%%)"
+      (Engine.rounds_per_sec p) (Engine.messages_per_sec p)
+      (100.0 *. Engine.skip_ratio p)

@@ -46,4 +46,13 @@ val link_load : t -> ((int * int) * int) list
 (** Messages on the single busiest directed link. *)
 val peak_link : t -> int
 
+(** [add_perf t p] attaches engine perf counters to the trace
+    (accumulating across calls), so {!pp} reports simulator
+    throughput — rounds/s, messages/s, scheduler skip ratio — next to
+    the traffic profile. Cleared by {!reset}. *)
+val add_perf : t -> Engine.perf -> unit
+
+(** The accumulated engine counters, if any were attached. *)
+val perf : t -> Engine.perf option
+
 val pp : Format.formatter -> t -> unit

@@ -25,6 +25,9 @@ let run ?(root = 0) ?diam_cap g =
   if not (Graph.is_connected g) then invalid_arg "Dist_mst.run: disconnected";
   let n = Graph.n g in
   let ledger = Ledger.create () in
+  (* Attribute all engine work below (BFS, exchanges, aggregations) to
+     this ledger so experiments can report simulator throughput. *)
+  let engine_before = Engine.snapshot_totals () in
   let bfs, bfs_stats = Bfs.tree g ~root in
   Ledger.native ledger ~label:"bfs-tree" bfs_stats.Engine.rounds;
   let sqrt_n = int_of_float (Float.ceil (Float.sqrt (float_of_int n))) in
@@ -92,6 +95,7 @@ let run ?(root = 0) ?diam_cap g =
   done;
   let internal_all = Array.to_list base.Fragments.internal_edges |> List.concat in
   let mst_edges = List.sort Int.compare (internal_all @ !external_edges) in
+  Ledger.attach_perf ledger (Engine.totals_since engine_before);
   { graph = g; bfs; mst_edges; base; external_edges = !external_edges; ledger }
 
 type rooted = {

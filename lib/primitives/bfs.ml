@@ -22,26 +22,32 @@ let program root : (state, msg) Engine.program =
       (fun ctx ~round:_ s inbox ->
         if s.dist >= 0 then (s, [], false)
         else begin
-          (* Adopt the smallest-id sender among this round's offers. *)
-          let best =
-            List.fold_left
-              (fun acc (r : msg received) ->
-                match acc with
-                | Some (b : msg received) when b.from <= r.from -> acc
-                | _ -> Some r)
-              None inbox
+          (* Adopt the smallest-id sender among this round's offers.
+             Hot path: one allocation-free scan for the best offer,
+             one direct unfold of the neighbor array for the sends. *)
+          let rec best (b : msg received option) = function
+            | [] -> b
+            | (r : msg received) :: rest ->
+              (match b with
+              | Some bb when bb.from <= r.from -> best b rest
+              | _ -> best (Some r) rest)
           in
-          match best with
+          match best None inbox with
           | None -> (s, [], false)
           | Some r ->
             let (Join d) = r.payload in
             let s = { dist = d + 1; parent_edge = r.edge } in
-            let outs =
-              Array.to_list ctx.neighbors
-              |> List.filter (fun (edge, _) -> edge <> r.edge)
-              |> List.map (fun (edge, _) -> { via = edge; msg = Join s.dist })
+            let msg = Join s.dist in
+            let nbrs = ctx.neighbors in
+            let deg = Array.length nbrs in
+            let rec outs i =
+              if i >= deg then []
+              else
+                let edge, _ = nbrs.(i) in
+                if edge = r.edge then outs (i + 1)
+                else { via = edge; msg } :: outs (i + 1)
             in
-            (s, outs, false)
+            (s, outs 0, false)
         end);
   }
 

@@ -81,6 +81,10 @@ let global_best ?(value_words = 2) g ~tree ~nkeys ~local ~better =
         messages = up_stats.messages + down_stats.messages;
         total_words = up_stats.total_words + down_stats.total_words;
         max_edge_load = max up_stats.max_edge_load down_stats.max_edge_load;
+        outcome =
+          (if up_stats.outcome = Round_limit || down_stats.outcome = Round_limit
+           then Round_limit
+           else Converged);
       }
   in
   (table, stats)

@@ -120,6 +120,10 @@ let aggregate ?(value_words = 2) g ~tt ~is_center ~value ~combine =
       messages = st1.messages + st2.messages;
       total_words = st1.total_words + st2.total_words;
       max_edge_load = max st1.max_edge_load st2.max_edge_load;
+      outcome =
+        (if st1.outcome = Engine.Round_limit || st2.outcome = Engine.Round_limit
+         then Engine.Round_limit
+         else Engine.Converged);
     }
   in
   (result, stats)

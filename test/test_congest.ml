@@ -105,8 +105,20 @@ let test_engine_max_rounds () =
       step = (fun _ ~round:_ s _ -> (s, [], true));
     }
   in
-  let _, stats = Engine.run ~max_rounds:17 g loop in
-  check_int "capped" 17 stats.Engine.rounds
+  (* With [`Mark], the cap is reported in stats. *)
+  let _, stats = Engine.run ~max_rounds:17 ~on_round_limit:`Mark g loop in
+  check_int "capped" 17 stats.Engine.rounds;
+  check "outcome marked" true (stats.Engine.outcome = Engine.Round_limit);
+  (* By default, hitting the cap raises: a capped run is never a
+     silent result. *)
+  check "default raises" true
+    (try
+       ignore (Engine.run ~max_rounds:17 g loop);
+       false
+     with Engine.Congest_violation _ -> true);
+  (* A converged run says so. *)
+  let _, stats = Engine.run ~max_rounds:17 g (pingpong 2) in
+  check "converged" true (stats.Engine.outcome = Engine.Converged)
 
 (* ------------------------------------------------------------------ *)
 (* Ledger                                                              *)
