@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke clean
+.PHONY: all build test bench bench-smoke chaos chaos-smoke clean
 
 all: build
 
@@ -18,6 +18,16 @@ bench:
 # Also runs as part of `dune runtest` via the @bench-smoke alias.
 bench-smoke:
 	dune build @bench-smoke
+
+# Fault-injection matrix: both engine backends under three seeded chaos
+# plans across every algorithm family, plus the raw-vs-reliable BFS
+# degradation sweep. Writes BENCH_faults.json.
+chaos:
+	dune exec bench/engine_bench.exe -- --chaos
+
+# Small chaos matrix; also runs in `dune runtest` via @chaos-smoke.
+chaos-smoke:
+	dune build @chaos-smoke
 
 clean:
 	dune clean

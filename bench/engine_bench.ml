@@ -121,11 +121,12 @@ let geo ~seed n =
 
 let buf_stats b (st : Engine.stats) =
   Buffer.add_string b
-    (spf "|stats r=%d m=%d w=%d mel=%d oc=%s" st.Engine.rounds st.Engine.messages
-       st.Engine.total_words st.Engine.max_edge_load
+    (spf "|stats r=%d m=%d w=%d mel=%d oc=%s dr=%d rt=%d" st.Engine.rounds
+       st.Engine.messages st.Engine.total_words st.Engine.max_edge_load
        (match st.Engine.outcome with
        | Engine.Converged -> "c"
-       | Engine.Round_limit -> "l"))
+       | Engine.Round_limit -> "l")
+       st.Engine.dropped_messages st.Engine.retransmissions)
 
 let buf_float b f = Buffer.add_string b (spf "%.17g;" f)
 let buf_int b i = Buffer.add_string b (spf "%d;" i)
@@ -381,6 +382,170 @@ let run_differential () =
   (List.length cs, List.rev !failures)
 
 (* ------------------------------------------------------------------ *)
+(* Chaos mode (--chaos): the fault-injection counterpart of the
+   differential checker, plus a degradation sweep.
+
+   1. Fault differential: every family above is driven through both
+      backends under the same ambient fault plan (Fault.reset before
+      each side so both replay the identical schedule). Digests —
+      including the new dropped/retransmission counters and any
+      exception an algorithm raises when chaos starves it — must match
+      byte-for-byte. The plans avoid crash-stop failures: composite
+      pipelines feed one phase's output into the next centrally, and a
+      crashed node's garbage state would make the *plans*, not the
+      engines, the thing under test. Crash semantics are covered by
+      test_fault.ml and the sweep below.
+
+   2. Degradation sweep: raw relaxing BFS vs its Reliable.lift'ed
+      version across drop probabilities, each run certified by
+      Monitor.bfs. Written to BENCH_faults.json: the raw protocol must
+      go wrong beyond some drop-prob while the ARQ one stays correct,
+      with the measured round/retransmission overhead. *)
+
+let chaos_plans () =
+  [
+    Fault.make ~drop_prob:0.01 ~seed:101 ();
+    Fault.make
+      ~link_failures:
+        [
+          { Fault.edge = 3; from_round = 0; until_round = Some 30 };
+          { Fault.edge = 17; from_round = 5; until_round = Some 25 };
+        ]
+      ~seed:202 ();
+    Fault.make ~drop_prob:0.05 ~drop_until:50
+      ~link_failures:[ { Fault.edge = 9; from_round = 2; until_round = Some 40 } ]
+      ~seed:303 ();
+  ]
+
+let run_chaos_differential () =
+  Printf.printf "chaos differential: fast vs reference under fault plans\n%!";
+  let failures = ref [] in
+  let plans = chaos_plans () in
+  let total = ref 0 in
+  List.iter
+    (fun plan ->
+      Printf.printf "  plan [%s]\n%!" (Fault.describe plan);
+      List.iter
+        (fun c ->
+          incr total;
+          let side backend =
+            Fault.reset plan;
+            Engine.with_backend backend (fun () ->
+                Engine.with_faults ~max_rounds:50_000 plan (fun () ->
+                    try c.run ()
+                    with e -> "exn:" ^ Printexc.to_string e))
+          in
+          let fast = side Engine.Fast in
+          let refe = side Engine.Reference in
+          if String.equal fast refe then
+            Printf.printf "    [eq] %-16s (%d bytes%s)\n%!" c.family
+              (String.length fast)
+              (if String.length fast >= 4 && String.sub fast 0 4 = "exn:" then
+                 ", starved"
+               else "")
+          else begin
+            Printf.printf "    [MISMATCH] %s\n%!" c.family;
+            failures := spf "%s@%d" c.family (Fault.seed plan) :: !failures
+          end)
+        (checks ()))
+    plans;
+  (!total, List.rev !failures)
+
+let sweep_row ~label ~drop_prob ~(stats : Engine.stats) ~verdict =
+  Json.Obj
+    [
+      ("protocol", Json.Str label);
+      ("drop_prob", Json.Float drop_prob);
+      ("rounds", Json.Int stats.Engine.rounds);
+      ("messages", Json.Int stats.Engine.messages);
+      ("words", Json.Int stats.Engine.total_words);
+      ("dropped", Json.Int stats.Engine.dropped_messages);
+      ("retransmissions", Json.Int stats.Engine.retransmissions);
+      ( "outcome",
+        Json.Str
+          (match stats.Engine.outcome with
+          | Engine.Converged -> "converged"
+          | Engine.Round_limit -> "round-limit") );
+      ("verdict", Json.Str (Monitor.verdict_name verdict));
+    ]
+
+let run_sweep ~n =
+  let g = er ~seed:21 n in
+  let root = 0 in
+  Printf.printf "degradation sweep: BFS on ER n=%d m=%d\n%!" n (Graph.m g);
+  let rows = ref [] in
+  let raw_wrong = ref false and reliable_all_correct = ref true in
+  List.iter
+    (fun drop_prob ->
+      let plan seed = Fault.make ~drop_prob ~seed () in
+      let raw_dist, raw_st = Bfs.layers ~faults:(plan 42) g ~root in
+      let raw_v = (Monitor.bfs g (plan 42) ~root ~dist:raw_dist).verdict in
+      let rel_dist, rel_st = Bfs.layers_reliable ~faults:(plan 42) g ~root in
+      let rel_v = (Monitor.bfs g (plan 42) ~root ~dist:rel_dist).verdict in
+      if raw_v <> Monitor.Correct then raw_wrong := true;
+      if rel_v <> Monitor.Correct then reliable_all_correct := false;
+      Printf.printf
+        "  p=%.2f raw: %-7s %4d rounds %5d dropped | arq: %-7s %4d rounds %5d retrans\n%!"
+        drop_prob (Monitor.verdict_name raw_v) raw_st.Engine.rounds
+        raw_st.Engine.dropped_messages (Monitor.verdict_name rel_v)
+        rel_st.Engine.rounds rel_st.Engine.retransmissions;
+      rows := sweep_row ~label:"bfs-raw" ~drop_prob ~stats:raw_st ~verdict:raw_v :: !rows;
+      rows :=
+        sweep_row ~label:"bfs-reliable" ~drop_prob ~stats:rel_st ~verdict:rel_v
+        :: !rows)
+    [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.4; 0.5 ];
+  Printf.printf
+    "  raw degrades somewhere: %b; reliable correct everywhere: %b\n%!"
+    !raw_wrong !reliable_all_correct;
+  (List.rev !rows, !raw_wrong, !reliable_all_correct)
+
+let run_chaos ~smoke =
+  let nchecks, failures = run_chaos_differential () in
+  let sweep_n = if smoke then 64 else 512 in
+  let rows, raw_wrong, reliable_ok = run_sweep ~n:sweep_n in
+  let json =
+    Json.Obj
+      [
+        ( "meta",
+          Json.Obj
+            [
+              ("mode", Json.Str (if smoke then "smoke" else "full"));
+              ("word_size", Json.Int Sys.word_size);
+              ("ocaml", Json.Str Sys.ocaml_version);
+            ] );
+        ( "fault_differential",
+          Json.Obj
+            [
+              ("plans", Json.Int (List.length (chaos_plans ())));
+              ("checks", Json.Int nchecks);
+              ("failures", Json.List (List.map (fun f -> Json.Str f) failures));
+              ("equivalent", Json.Bool (failures = []));
+            ] );
+        ( "degradation_sweep",
+          Json.Obj
+            [
+              ("n", Json.Int sweep_n);
+              ("raw_degrades", Json.Bool raw_wrong);
+              ("reliable_all_correct", Json.Bool reliable_ok);
+              ("rows", Json.List rows);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_faults.json" in
+  output_string oc (Json.to_string json);
+  close_out oc;
+  Printf.printf "wrote BENCH_faults.json\n%!";
+  if failures <> [] then begin
+    Printf.printf "CHAOS DIFFERENTIAL FAILURES: %s\n%!"
+      (String.concat ", " failures);
+    exit 1
+  end;
+  if not reliable_ok then begin
+    Printf.printf "RELIABLE BFS WENT WRONG UNDER THE SWEEP\n%!";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Workload suite. *)
 
 let measure f =
@@ -520,14 +685,24 @@ let run_headline ~n ~blocks ~reps ~quota =
 let () =
   Array.iteri
     (fun i arg ->
-      if i > 0 && arg <> "--smoke" && arg <> "--headline-only" then begin
-        Printf.eprintf "engine_bench: unknown argument %s\nusage: %s [--smoke] [--headline-only]\n"
+      if
+        i > 0 && arg <> "--smoke" && arg <> "--headline-only"
+        && arg <> "--chaos"
+      then begin
+        Printf.eprintf
+          "engine_bench: unknown argument %s\nusage: %s [--smoke] [--headline-only] [--chaos]\n"
           arg Sys.argv.(0);
         exit 2
       end)
     Sys.argv;
   let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   let headline_only = Array.exists (String.equal "--headline-only") Sys.argv in
+  if Array.exists (String.equal "--chaos") Sys.argv then begin
+    Printf.printf "engine_bench (chaos %s mode)\n%!"
+      (if smoke then "smoke" else "full");
+    run_chaos ~smoke;
+    exit 0
+  end;
   let sizes = if smoke then [ 256 ] else [ 1024; 4096; 16384 ] in
   let headline_n = if smoke then 256 else 16384 in
   let blocks = if smoke then 4 else 8 in

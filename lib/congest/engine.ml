@@ -29,6 +29,8 @@ type stats = {
   total_words : int;
   max_edge_load : int;
   outcome : outcome;
+  dropped_messages : int;
+  retransmissions : int;
 }
 
 type perf = {
@@ -41,6 +43,8 @@ type perf = {
   mutable wall : float;
   mutable arena_cap : int;
   mutable arena_grows : int;
+  mutable dropped_messages : int;
+  mutable retransmissions : int;
 }
 
 let create_perf () =
@@ -54,6 +58,8 @@ let create_perf () =
     wall = 0.0;
     arena_cap = 0;
     arena_grows = 0;
+    dropped_messages = 0;
+    retransmissions = 0;
   }
 
 let copy_perf p = { p with runs = p.runs }
@@ -76,6 +82,8 @@ let totals_since before =
     wall = totals.wall -. before.wall;
     arena_cap = max totals.arena_cap before.arena_cap;
     arena_grows = totals.arena_grows - before.arena_grows;
+    dropped_messages = totals.dropped_messages - before.dropped_messages;
+    retransmissions = totals.retransmissions - before.retransmissions;
   }
 
 let add_perf ~into p =
@@ -87,7 +95,9 @@ let add_perf ~into p =
   into.words <- into.words + p.words;
   into.wall <- into.wall +. p.wall;
   into.arena_cap <- max into.arena_cap p.arena_cap;
-  into.arena_grows <- into.arena_grows + p.arena_grows
+  into.arena_grows <- into.arena_grows + p.arena_grows;
+  into.dropped_messages <- into.dropped_messages + p.dropped_messages;
+  into.retransmissions <- into.retransmissions + p.retransmissions
 
 let skip_ratio p =
   let scanned = p.steps + p.skipped in
@@ -106,12 +116,15 @@ let pp_perf ppf p =
     p.runs p.rounds p.steps p.skipped
     (100.0 *. skip_ratio p)
     p.messages p.wall (rounds_per_sec p) (messages_per_sec p) p.arena_cap
-    p.arena_grows
+    p.arena_grows;
+  if p.dropped_messages > 0 || p.retransmissions > 0 then
+    Format.fprintf ppf ", dropped=%d retrans=%d" p.dropped_messages
+      p.retransmissions
 
 let violation fmt = Format.kasprintf (fun s -> raise (Congest_violation s)) fmt
 
 let finish_perf perf ~rounds ~steps ~skipped ~messages ~words ~wall ~arena_cap
-    ~arena_grows =
+    ~arena_grows ~dropped ~retrans =
   let record p =
     p.runs <- p.runs + 1;
     p.rounds <- p.rounds + rounds;
@@ -121,10 +134,68 @@ let finish_perf perf ~rounds ~steps ~skipped ~messages ~words ~wall ~arena_cap
     p.words <- p.words + words;
     p.wall <- p.wall +. wall;
     p.arena_cap <- max p.arena_cap arena_cap;
-    p.arena_grows <- p.arena_grows + arena_grows
+    p.arena_grows <- p.arena_grows + arena_grows;
+    p.dropped_messages <- p.dropped_messages + dropped;
+    p.retransmissions <- p.retransmissions + retrans
   in
   record totals;
   match perf with Some p -> record p | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault context.
+
+   [retrans_cell] points at the innermost running engine's
+   retransmission counter; [count_retransmission] is the hook reliable-
+   delivery combinators call from inside a [step] to attribute the
+   duplicate send they are about to emit. The cell is saved/restored
+   around every run (including on exceptions), so nested engine runs
+   attribute correctly and calls outside any run land in a sink.
+
+   [ambient_faults] is a process-wide default fault plan (plus an
+   optional round-cap override), letting a caller inject faults under
+   *every* engine run in a dynamic extent — the way the differential
+   checker drives whole algorithm families through a chaos plan without
+   touching their call sites. An explicit [?faults] argument takes
+   precedence. *)
+
+let sink = ref 0
+let retrans_cell = ref sink
+let count_retransmission () = incr !retrans_cell
+
+let ambient_faults : (Fault.plan * int option) option ref = ref None
+
+let with_faults ?max_rounds plan f =
+  let old = !ambient_faults in
+  ambient_faults := Some (plan, max_rounds);
+  Fun.protect ~finally:(fun () -> ambient_faults := old) f
+
+(* Resolve a run's effective fault plan and round-limit policy: an
+   explicit [?faults] wins over the ambient plan; under faults the
+   round cap defaults to marking instead of raising (a capped chaotic
+   run is an expected outcome for the monitors to classify, not a
+   bug). *)
+let resolve_fault_context ~faults ~max_rounds ~on_round_limit =
+  let faults, ambient_cap =
+    match faults with
+    | Some _ -> (faults, None)
+    | None -> (
+      match !ambient_faults with
+      | Some (plan, cap) -> (Some plan, cap)
+      | None -> (None, None))
+  in
+  let max_rounds =
+    match (max_rounds, ambient_cap) with
+    | Some r, _ -> r
+    | None, Some r -> r
+    | None, None -> 10_000_000
+  in
+  let on_round_limit =
+    match on_round_limit with
+    | Some x -> x
+    | None -> if faults = None then `Raise else `Mark
+  in
+  (match faults with Some plan -> Fault.begin_run plan | None -> ());
+  (faults, max_rounds, on_round_limit)
 
 (* ------------------------------------------------------------------ *)
 (* Reference engine: the original list-inbox, hashtable-tracked
@@ -133,8 +204,11 @@ let finish_perf perf ~rounds ~steps ~skipped ~messages ~words ~wall ~arena_cap
    call sequence). Kept as the accounting-strict differential baseline
    and as the "before" side of bench/engine_bench. *)
 
-let run_reference ?(word_cap = 4) ?(max_rounds = 10_000_000)
-    ?(on_round_limit = `Raise) ?observer ?perf g p =
+let run_reference ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
+    ?faults g p =
+  let faults, max_rounds, on_round_limit =
+    resolve_fault_context ~faults ~max_rounds ~on_round_limit
+  in
   let t0 = Unix.gettimeofday () in
   let n = Graph.n g in
   let ctx_of v =
@@ -152,6 +226,12 @@ let run_reference ?(word_cap = 4) ?(max_rounds = 10_000_000)
   let in_flight = ref 0 in
   let steps = ref 0 in
   let skipped = ref 0 in
+  let dropped = ref 0 in
+  let retrans = ref 0 in
+  let saved_cell = !retrans_cell in
+  retrans_cell := retrans;
+  Fun.protect ~finally:(fun () -> retrans_cell := saved_cell)
+  @@ fun () ->
   (* Tracks, per round, words sent per (edge, direction) for cap
      enforcement. Key: edge * 2 + dir. *)
   let sent_this_round = Hashtbl.create 64 in
@@ -179,8 +259,26 @@ let run_reference ?(word_cap = 4) ?(max_rounds = 10_000_000)
         | None -> ());
         incr messages;
         total_words := !total_words + w;
-        incr in_flight;
-        next_inbox.(dest) <- { from = sender; edge = via; payload = msg } :: next_inbox.(dest))
+        (* The send happened (and was charged above); the fault plan
+           decides whether it survives transit. *)
+        let lost =
+          match faults with
+          | None -> false
+          | Some plan -> (
+            match
+              Fault.fate plan ~sender ~dest ~edge:via ~round:!current_round
+            with
+            | None -> false
+            | Some c ->
+              Fault.record plan c;
+              incr dropped;
+              true)
+        in
+        if not lost then begin
+          incr in_flight;
+          next_inbox.(dest) <-
+            { from = sender; edge = via; payload = msg } :: next_inbox.(dest)
+        end)
       outs
   in
   (* Round 0: init. *)
@@ -203,7 +301,17 @@ let run_reference ?(word_cap = 4) ?(max_rounds = 10_000_000)
     let any_active = ref false in
     for v = 0 to n - 1 do
       let msgs = inbox.(v) in
-      if active.(v) || msgs <> [] then begin
+      if
+        match faults with
+        | Some plan -> Fault.crashed plan ~node:v ~round:!rounds
+        | None -> false
+      then begin
+        (* Crash-stop: the node is never stepped again. Its inbox is
+           necessarily empty (sends to it were dropped in transit). *)
+        active.(v) <- false;
+        incr skipped
+      end
+      else if active.(v) || msgs <> [] then begin
         incr steps;
         let s, outs, still = p.step ctxs.(v) ~round:!rounds states.(v) msgs in
         states.(v) <- s;
@@ -222,7 +330,7 @@ let run_reference ?(word_cap = 4) ?(max_rounds = 10_000_000)
   finish_perf perf ~rounds:!rounds ~steps:!steps ~skipped:!skipped
     ~messages:!messages ~words:!total_words
     ~wall:(Unix.gettimeofday () -. t0)
-    ~arena_cap:0 ~arena_grows:0;
+    ~arena_cap:0 ~arena_grows:0 ~dropped:!dropped ~retrans:!retrans;
   ( states,
     {
       rounds = !rounds;
@@ -230,6 +338,8 @@ let run_reference ?(word_cap = 4) ?(max_rounds = 10_000_000)
       total_words = !total_words;
       max_edge_load = !max_edge_load;
       outcome;
+      dropped_messages = !dropped;
+      retransmissions = !retrans;
     } )
 
 (* ------------------------------------------------------------------ *)
@@ -404,8 +514,11 @@ let release_scratch s ~stamp =
   s.stamp <- stamp;
   s.busy <- false
 
-let run_fast ?(word_cap = 4) ?(max_rounds = 10_000_000)
-    ?(on_round_limit = `Raise) ?observer ?perf g p =
+let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
+    ?faults g p =
+  let faults, max_rounds, on_round_limit =
+    resolve_fault_context ~faults ~max_rounds ~on_round_limit
+  in
   let t0 = Unix.gettimeofday () in
   let n = Graph.n g in
   let sc = acquire_scratch g in
@@ -430,12 +543,17 @@ let run_fast ?(word_cap = 4) ?(max_rounds = 10_000_000)
   let nxt =
     ref { from_ = sc.b_from; edge_ = sc.b_edge; payload = [||]; link = sc.b_link; len = 0 }
   in
+  let dropped = ref 0 in
+  let retrans = ref 0 in
+  let saved_cell = !retrans_cell in
+  retrans_cell := retrans;
   (* The scratch must go back to the cache on every exit path —
      including model violations and exceptions raised by program code —
      or the slot would stay marked busy and disable reuse. Grown arena
      columns are written back so the capacity ratchets up. *)
   Fun.protect
     ~finally:(fun () ->
+      retrans_cell := saved_cell;
       let a = !cur and b = !nxt in
       sc.a_from <- a.from_;
       sc.a_edge <- a.edge_;
@@ -523,16 +641,34 @@ let run_fast ?(word_cap = 4) ?(max_rounds = 10_000_000)
       | None -> ());
       incr messages;
       total_words := !total_words + w;
-      let a = !nxt in
-      if a.len = Array.length a.payload then grow a msg;
-      let idx = a.len in
-      a.len <- idx + 1;
-      a.from_.(idx) <- sender;
-      a.edge_.(idx) <- via;
-      a.payload.(idx) <- msg;
-      a.link.(idx) <- !head_nxt.(dest);
-      !head_nxt.(dest) <- idx;
-      push_next dest;
+      (* The send happened (and was charged above); the fault plan
+         decides whether it survives transit. This branch is a single
+         option check on the fault-free path. *)
+      let lost =
+        match faults with
+        | None -> false
+        | Some plan -> (
+          match
+            Fault.fate plan ~sender ~dest ~edge:via ~round:!current_round
+          with
+          | None -> false
+          | Some c ->
+            Fault.record plan c;
+            incr dropped;
+            true)
+      in
+      if not lost then begin
+        let a = !nxt in
+        if a.len = Array.length a.payload then grow a msg;
+        let idx = a.len in
+        a.len <- idx + 1;
+        a.from_.(idx) <- sender;
+        a.edge_.(idx) <- via;
+        a.payload.(idx) <- msg;
+        a.link.(idx) <- !head_nxt.(dest);
+        !head_nxt.(dest) <- idx;
+        push_next dest
+      end;
       deliver sender rest
   in
   (* Round 0: init. All inits run before any delivery, then deliveries
@@ -608,15 +744,29 @@ let run_fast ?(word_cap = 4) ?(max_rounds = 10_000_000)
     in
     for i = 0 to wlen - 1 do
       let v = wl_cur.(i) in
-      let msgs = inbox_of heads.(v) in
-      heads.(v) <- -1;
-      if active.(v) || msgs <> [] then begin
-        incr steps;
-        let s, outs, still = p.step ctxs.(v) ~round:!rounds states.(v) msgs in
-        states.(v) <- s;
-        active.(v) <- still;
-        if still then push_next v;
-        deliver v outs
+      if
+        match faults with
+        | Some plan -> Fault.crashed plan ~node:v ~round:!rounds
+        | None -> false
+      then begin
+        (* Crash-stop: never stepped again, not re-queued. The inbox
+           chain is necessarily empty (sends to it were dropped), but
+           clear the head defensively to keep the swap invariant. *)
+        heads.(v) <- -1;
+        active.(v) <- false;
+        incr skipped
+      end
+      else begin
+        let msgs = inbox_of heads.(v) in
+        heads.(v) <- -1;
+        if active.(v) || msgs <> [] then begin
+          incr steps;
+          let s, outs, still = p.step ctxs.(v) ~round:!rounds states.(v) msgs in
+          states.(v) <- s;
+          active.(v) <- still;
+          if still then push_next v;
+          deliver v outs
+        end
       end
     done
   done;
@@ -627,7 +777,7 @@ let run_fast ?(word_cap = 4) ?(max_rounds = 10_000_000)
     ~messages:!messages ~words:!total_words
     ~wall:(Unix.gettimeofday () -. t0)
     ~arena_cap:(Array.length !cur.link + Array.length !nxt.link)
-    ~arena_grows:!arena_grows;
+    ~arena_grows:!arena_grows ~dropped:!dropped ~retrans:!retrans;
   ( states,
     {
       rounds = !rounds;
@@ -635,6 +785,8 @@ let run_fast ?(word_cap = 4) ?(max_rounds = 10_000_000)
       total_words = !total_words;
       max_edge_load = !max_edge_load;
       outcome;
+      dropped_messages = !dropped;
+      retransmissions = !retrans;
     } )
 
 (* ------------------------------------------------------------------ *)
@@ -650,13 +802,20 @@ let with_backend b f =
   backend := b;
   Fun.protect ~finally:(fun () -> backend := old) f
 
-let run ?word_cap ?max_rounds ?on_round_limit ?observer ?perf g p =
+let run ?word_cap ?max_rounds ?on_round_limit ?observer ?perf ?faults g p =
   match !backend with
-  | Fast -> run_fast ?word_cap ?max_rounds ?on_round_limit ?observer ?perf g p
+  | Fast ->
+    run_fast ?word_cap ?max_rounds ?on_round_limit ?observer ?perf ?faults g p
   | Reference ->
-    run_reference ?word_cap ?max_rounds ?on_round_limit ?observer ?perf g p
+    run_reference ?word_cap ?max_rounds ?on_round_limit ?observer ?perf ?faults
+      g p
 
 let pp_stats ppf (s : stats) =
-  Format.fprintf ppf "rounds=%d msgs=%d words=%d max_edge_load=%d%s" s.rounds
-    s.messages s.total_words s.max_edge_load
-    (match s.outcome with Converged -> "" | Round_limit -> " (round limit)")
+  Format.fprintf ppf "rounds=%d msgs=%d words=%d max_edge_load=%d outcome=%s"
+    s.rounds s.messages s.total_words s.max_edge_load
+    (match s.outcome with
+    | Converged -> "converged"
+    | Round_limit -> "round-limit");
+  if s.dropped_messages > 0 || s.retransmissions > 0 then
+    Format.fprintf ppf " dropped=%d retrans=%d" s.dropped_messages
+      s.retransmissions

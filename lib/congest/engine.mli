@@ -65,10 +65,12 @@ type outcome = Converged | Round_limit
 
 type stats = {
   rounds : int;  (** rounds until quiescence (or the cap) *)
-  messages : int;  (** total messages delivered *)
+  messages : int;  (** total messages sent (lost ones included) *)
   total_words : int;  (** total message volume in words *)
   max_edge_load : int;  (** max words on one edge-direction in a round *)
   outcome : outcome;  (** whether the run converged or hit [max_rounds] *)
+  dropped_messages : int;  (** messages lost to the fault plan *)
+  retransmissions : int;  (** resends reported via {!count_retransmission} *)
 }
 
 (** Engine-level performance counters, accumulated across runs.
@@ -76,7 +78,10 @@ type stats = {
     the scheduler avoided (quiescent nodes in a live round); [wall] is
     seconds spent inside the engine; [arena_cap] is the peak mailbox
     arena capacity in slots and [arena_grows] the number of growth
-    events (0 once the arena reaches steady state). *)
+    events (0 once the arena reaches steady state).
+    [dropped_messages]/[retransmissions] separate fault-injected
+    losses and protocol resends from clean traffic ([messages] counts
+    every send, lost or not). *)
 type perf = {
   mutable runs : int;
   mutable rounds : int;
@@ -87,6 +92,8 @@ type perf = {
   mutable wall : float;
   mutable arena_cap : int;
   mutable arena_grows : int;
+  mutable dropped_messages : int;
+  mutable retransmissions : int;
 }
 
 val create_perf : unit -> perf
@@ -131,6 +138,18 @@ val pp_perf : Format.formatter -> perf -> unit
            [stats.outcome = Round_limit].
     @param observer called once per message sent.
     @param perf if given, accumulates this run's engine counters.
+    @param faults a deterministic chaos plan ({!Fault.plan}) applied at
+           delivery time. A doomed message is still *sent* — it counts
+           in [messages]/[total_words]/[max_edge_load] and triggers the
+           observer (the link was used) — but never reaches its
+           destination's inbox; each loss increments
+           [stats.dropped_messages] and the plan's per-cause counters.
+           A crash-stopped node executes rounds before its crash round
+           normally and is then never stepped again. When a plan is
+           given, [on_round_limit] defaults to [`Mark] (faulty runs
+           legitimately stall) and [Fault.begin_run] is called on the
+           plan. Both backends apply the plan identically, so the
+           differential guarantee extends to faulty executions.
     @raise Congest_violation on a model violation.
     @return final states (indexed by vertex) and statistics. *)
 val run :
@@ -139,6 +158,7 @@ val run :
   ?on_round_limit:[ `Raise | `Mark ] ->
   ?observer:observer ->
   ?perf:perf ->
+  ?faults:Fault.plan ->
   Ln_graph.Graph.t ->
   ('s, 'm) program ->
   's array * stats
@@ -152,6 +172,7 @@ val run_fast :
   ?on_round_limit:[ `Raise | `Mark ] ->
   ?observer:observer ->
   ?perf:perf ->
+  ?faults:Fault.plan ->
   Ln_graph.Graph.t ->
   ('s, 'm) program ->
   's array * stats
@@ -166,9 +187,25 @@ val run_reference :
   ?on_round_limit:[ `Raise | `Mark ] ->
   ?observer:observer ->
   ?perf:perf ->
+  ?faults:Fault.plan ->
   Ln_graph.Graph.t ->
   ('s, 'm) program ->
   's array * stats
+
+(** [with_faults plan f] runs [f ()] with [plan] as the ambient fault
+    plan: every {!run} inside [f] that is not given an explicit
+    [?faults] uses [plan] (and, if [max_rounds] is given, that round
+    cap with [`Mark]). Like {!with_backend}, this lets the chaos
+    harness drive whole algorithm families through a fault plan
+    without touching call sites. Restores the previous ambient plan on
+    exit, also on exceptions. *)
+val with_faults : ?max_rounds:int -> Fault.plan -> (unit -> 'a) -> 'a
+
+(** Attribute one protocol-level retransmission to the engine run in
+    progress (innermost run if nested). Called by {!Reliable.lift}ed
+    programs when they resend unacknowledged payloads; shows up as
+    [stats.retransmissions] and in [perf]. A no-op outside a run. *)
+val count_retransmission : unit -> unit
 
 (** Which implementation {!run} dispatches to (default [Fast]). The
     switch lets the differential checker drive every algorithm in the

@@ -1,0 +1,101 @@
+(** Deterministic fault injection for the CONGEST engine.
+
+    A {!plan} is a seed-replayable description of the chaos applied to
+    a run: per-message random drops, link failures over round windows,
+    and crash-stop node failures. The engine consults the plan at
+    delivery time (see {!Engine.run}'s [?faults] parameter); both
+    engine backends apply it identically, so the differential-testing
+    guarantee extends to faulty executions.
+
+    Determinism: the random-drop coin for a message is a pure hash of
+    [(seed, run, round, edge, direction)] — no hidden [Random] state —
+    so a plan replays the exact same fault schedule on the exact same
+    program, regardless of backend or of the order in which messages
+    are delivered inside a round. Each engine run advances the plan's
+    run counter (so consecutive runs of a multi-phase algorithm see
+    independent drop patterns); call {!reset} to replay a plan from
+    its initial state. *)
+
+(** Why a message was lost. *)
+type cause =
+  | Random_drop  (** the per-message drop coin *)
+  | Link_down  (** a scheduled link failure window covered the send *)
+  | Crash  (** the sender or the receiver had crash-stopped *)
+
+(** A link failure: edge [edge] is down for sends in rounds
+    [from_round <= r < until_round]; [None] means permanent. *)
+type link_failure = { edge : int; from_round : int; until_round : int option }
+
+(** Per-cause drop counters for the last engine run under the plan. *)
+type counts = { random_drops : int; link_drops : int; crash_drops : int }
+
+val total : counts -> int
+
+type plan
+
+(** [make ~seed ()] builds a plan.
+
+    @param drop_prob per-message drop probability (default 0; must be
+           in [[0, 1)]).
+    @param drop_until rounds [>= drop_until] are exempt from random
+           drops (default: never exempt). Bounding the chaos window
+           guarantees protocols eventually see a clean network.
+    @param link_failures scheduled link-failure windows.
+    @param crashes [(node, round)] crash-stop failures: the node
+           executes rounds [< round] normally and then halts — it is
+           never stepped again, sends nothing and everything addressed
+           to it is dropped. [round = 0] suppresses even its initial
+           sends. *)
+val make :
+  ?drop_prob:float ->
+  ?drop_until:int ->
+  ?link_failures:link_failure list ->
+  ?crashes:(int * int) list ->
+  seed:int ->
+  unit ->
+  plan
+
+val seed : plan -> int
+
+(** {2 Engine-facing hooks} *)
+
+(** [begin_run p] is called by the engine at the start of each run: it
+    advances the run counter (decorrelating drop coins across runs)
+    and clears the per-run {!counts}. *)
+val begin_run : plan -> unit
+
+(** [reset p] rewinds the run counter and counters, so the next run
+    replays the plan's very first fault schedule. Used when driving
+    the same plan through both engine backends. *)
+val reset : plan -> unit
+
+(** [crashed p ~node ~round] — has [node] crash-stopped by [round]? *)
+val crashed : plan -> node:int -> round:int -> bool
+
+(** [fate p ~sender ~dest ~edge ~round] decides whether a message sent
+    over [edge] in [round] (delivered in [round + 1]) is lost, and
+    why. Pure in the plan's current run counter. *)
+val fate :
+  plan -> sender:int -> dest:int -> edge:int -> round:int -> cause option
+
+(** [record p c] increments the per-run counter for cause [c]; called
+    by the engine for each message it drops. *)
+val record : plan -> cause -> unit
+
+(** Drop counters for the current (last) run. *)
+val counts : plan -> counts
+
+(** {2 Post-run analysis} *)
+
+(** [surviving_node p v] — [v] never crashes under [p]. *)
+val surviving_node : plan -> int -> bool
+
+(** [surviving_edge p e] — [e] has no permanent failure under [p]
+    (transient windows heal, so the edge survives). *)
+val surviving_edge : plan -> int -> bool
+
+(** A compact, replayable one-line description of the plan
+    (seed, drop probability, failure/crash schedules). *)
+val describe : plan -> string
+
+val pp : Format.formatter -> plan -> unit

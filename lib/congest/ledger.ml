@@ -11,10 +11,13 @@ type t = {
   mutable native : int;
   mutable charged : int;
   mutable perf : Engine.perf option;
+  mutable notes : (string * string) list; (* reversed *)
 }
 
 let dummy_entry = { label = ""; kind = Native; rounds = 0 }
-let create () = { arr = [||]; len = 0; native = 0; charged = 0; perf = None }
+
+let create () =
+  { arr = [||]; len = 0; native = 0; charged = 0; perf = None; notes = [] }
 
 let append t e =
   if t.len = Array.length t.arr then begin
@@ -35,11 +38,17 @@ let add t kind label rounds =
 let native t ~label rounds = add t Native label rounds
 let charged t ~label rounds = add t Charged label rounds
 
+let note t ~label value = t.notes <- (label, value) :: t.notes
+let notes t = List.rev t.notes
+
 let merge t ~prefix other =
   for i = 0 to other.len - 1 do
     let e = other.arr.(i) in
     append t { e with label = prefix ^ "/" ^ e.label }
   done;
+  List.iter
+    (fun (l, v) -> note t ~label:(prefix ^ "/" ^ l) v)
+    (notes other);
   match other.perf with
   | None -> ()
   | Some p -> (
@@ -71,4 +80,7 @@ let pp ppf t =
   (match t.perf with
   | None -> ()
   | Some p -> Format.fprintf ppf "@,%-40s %a" "-- engine perf" Engine.pp_perf p);
+  List.iter
+    (fun (l, v) -> Format.fprintf ppf "@,%-40s %s" ("-- " ^ l) v)
+    (notes t);
   Format.fprintf ppf "@]"

@@ -25,9 +25,20 @@ val charged : t -> label:string -> int -> unit
 (** [merge t ~prefix other] appends [other]'s entries into [t], with
     labels prefixed by [prefix ^ "/"] (sub-algorithm composition).
     [other]'s attached perf counters, if any, are accumulated into
-    [t]'s. O(|other|): entries are stored in a grow-doubling array, so
-    deeply nested composition stays linear overall. *)
+    [t]'s; its notes are carried over with the same prefix. O(|other|):
+    entries are stored in a grow-doubling array, so deeply nested
+    composition stays linear overall. *)
 val merge : t -> prefix:string -> t -> unit
+
+(** [note t ~label value] attaches free-form replay metadata to the
+    ledger — every stochastic choice (graph-generator seed, fault-plan
+    description, QCheck seed) must be noted here so a failure is
+    reproducible from its log line. Shown by {!pp}; propagated by
+    {!merge} with the usual prefix. *)
+val note : t -> label:string -> string -> unit
+
+(** Notes in insertion order. *)
+val notes : t -> (string * string) list
 
 (** Entries in insertion order. *)
 val entries : t -> entry list

@@ -1,0 +1,204 @@
+module Graph = Ln_graph.Graph
+module Paths = Ln_graph.Paths
+module Stats = Ln_graph.Stats
+module Union_find = Ln_graph.Union_find
+
+type verdict = Correct | Degraded | Wrong
+
+type report = { verdict : verdict; detail : string }
+
+let verdict_name = function
+  | Correct -> "correct"
+  | Degraded -> "degraded"
+  | Wrong -> "wrong"
+
+let pp ppf r =
+  Format.fprintf ppf "%s (%s)" (verdict_name r.verdict) r.detail
+
+let correct detail = { verdict = Correct; detail }
+let degraded detail = { verdict = Degraded; detail }
+let wrong detail = { verdict = Wrong; detail }
+
+(* BFS from [root] over surviving edges between surviving nodes. *)
+let surviving_hops g plan ~root =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  if Fault.surviving_node plan root then begin
+    dist.(root) <- 0;
+    let q = Queue.create () in
+    Queue.add root q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Array.iter
+        (fun (e, v) ->
+          if
+            dist.(v) < 0
+            && Fault.surviving_edge plan e
+            && Fault.surviving_node plan v
+          then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        (Graph.neighbors g u)
+    done
+  end;
+  dist
+
+let bfs g plan ~root ~dist =
+  let n = Graph.n g in
+  if Array.length dist <> n then
+    invalid_arg "Monitor.bfs: dist array has wrong length";
+  let full = Paths.bfs_hops g root in
+  if dist = full then correct "BFS layers match the fault-free graph"
+  else begin
+    let surv = surviving_hops g plan ~root in
+    let bad = ref None in
+    for v = n - 1 downto 0 do
+      if Fault.surviving_node plan v && dist.(v) <> surv.(v) then
+        bad := Some v
+    done;
+    match !bad with
+    | None -> degraded "BFS layers match the surviving subgraph"
+    | Some v ->
+      wrong
+        (Printf.sprintf "node %d claims hop distance %d, surviving subgraph says %d"
+           v dist.(v) surv.(v))
+  end
+
+let broadcast g plan ~root ~value ~got =
+  let n = Graph.n g in
+  if Array.length got <> n then
+    invalid_arg "Monitor.broadcast: got array has wrong length";
+  let corrupted = ref None in
+  for v = n - 1 downto 0 do
+    match got.(v) with
+    | Some x when x <> value -> corrupted := Some (v, x)
+    | _ -> ()
+  done;
+  match !corrupted with
+  | Some (v, x) ->
+    wrong (Printf.sprintf "node %d received %d instead of %d" v x value)
+  | None ->
+    if Array.for_all (fun o -> o = Some value) got then
+      correct "every node received the value"
+    else begin
+      let surv = surviving_hops g plan ~root in
+      let missed = ref None in
+      for v = n - 1 downto 0 do
+        if surv.(v) >= 0 && got.(v) <> Some value then missed := Some v
+      done;
+      match !missed with
+      | None -> degraded "every reachable surviving node received the value"
+      | Some v ->
+        wrong
+          (Printf.sprintf
+             "node %d is reachable in the surviving subgraph but got nothing" v)
+    end
+
+(* Count the distinct components among the vertices satisfying [keep],
+   where [join] unions whatever edges are admissible. *)
+let component_count n ~keep ~join =
+  let uf = Union_find.create n in
+  join uf;
+  let seen = Hashtbl.create 16 in
+  for v = 0 to n - 1 do
+    if keep v then Hashtbl.replace seen (Union_find.find uf v) ()
+  done;
+  Hashtbl.length seen
+
+let spanning_forest g plan ~edges =
+  let n = Graph.n g in
+  let uf = Union_find.create n in
+  let cycle = ref None in
+  List.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      if not (Union_find.union uf u v) then cycle := Some e)
+    edges;
+  match !cycle with
+  | Some e -> wrong (Printf.sprintf "edge %d closes a cycle" e)
+  | None ->
+    let full_cc =
+      component_count n
+        ~keep:(fun _ -> true)
+        ~join:(fun uf ->
+          Graph.iter_edges g (fun e _ ->
+              let u, v = Graph.endpoints g e in
+              ignore (Union_find.union uf u v);
+              ignore e))
+    in
+    let forest_cc =
+      component_count n ~keep:(fun _ -> true) ~join:(fun uf ->
+          List.iter
+            (fun e ->
+              let u, v = Graph.endpoints g e in
+              ignore (Union_find.union uf u v))
+            edges)
+    in
+    if forest_cc = full_cc then
+      correct "forest spans every component of the graph"
+    else begin
+      let keep v = Fault.surviving_node plan v in
+      let surv_cc =
+        component_count n ~keep ~join:(fun uf ->
+            Graph.iter_edges g (fun e _ ->
+                let u, v = Graph.endpoints g e in
+                if Fault.surviving_edge plan e && keep u && keep v then
+                  ignore (Union_find.union uf u v)))
+      in
+      let chosen_cc =
+        component_count n ~keep ~join:(fun uf ->
+            List.iter
+              (fun e ->
+                let u, v = Graph.endpoints g e in
+                if Fault.surviving_edge plan e && keep u && keep v then
+                  ignore (Union_find.union uf u v))
+              edges)
+      in
+      if chosen_cc = surv_cc then
+        degraded "surviving forest edges span the surviving subgraph"
+      else
+        wrong
+          (Printf.sprintf
+             "forest leaves %d components where the surviving subgraph has %d"
+             chosen_cc surv_cc)
+    end
+
+let spanner ?lightness_bound g plan ~stretch_bound ~edges =
+  let ok_full =
+    Stats.max_edge_stretch g edges <= stretch_bound
+    && match lightness_bound with
+       | None -> true
+       | Some b -> Stats.lightness g edges <= b
+  in
+  if ok_full then correct "stretch/lightness bounds hold on the full graph"
+  else begin
+    (* Re-measure on the surviving host: surviving edges only, with
+       spanner edges mapped into the subgraph's fresh edge ids. *)
+    let keep v = Fault.surviving_node plan v in
+    let surviving e =
+      let u, v = Graph.endpoints g e in
+      Fault.surviving_edge plan e && keep u && keep v
+    in
+    let host_edges =
+      Graph.fold_edges g (fun e _ acc -> if surviving e then e :: acc else acc)
+        []
+    in
+    let host, original_id = Graph.subgraph g host_edges in
+    let chosen = List.filter surviving edges in
+    let in_spanner = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace in_spanner e ()) chosen;
+    let sub_edges = ref [] in
+    for i = Graph.m host - 1 downto 0 do
+      if Hashtbl.mem in_spanner (original_id i) then sub_edges := i :: !sub_edges
+    done;
+    let ok_surv =
+      Stats.max_edge_stretch host !sub_edges <= stretch_bound
+      && match lightness_bound with
+         | None -> true
+         | Some b -> Stats.lightness host !sub_edges <= b
+    in
+    if ok_surv then
+      degraded "bounds hold on the surviving subgraph"
+    else wrong "bounds fail even on the surviving subgraph"
+  end

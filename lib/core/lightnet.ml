@@ -6,7 +6,8 @@
 
     - {!Graph}, {!Paths}, {!Mst_seq}, {!Tree}, {!Euler}, {!Gen},
       {!Metric}, {!Stats} — the sequential graph substrate;
-    - {!Engine}, {!Ledger} — the CONGEST simulator and round ledger;
+    - {!Engine}, {!Ledger}, {!Fault}, {!Reliable}, {!Monitor} — the
+      CONGEST simulator, round ledger, and chaos layer;
     - {!Bfs}, {!Broadcast}, {!Convergecast}, {!Keyed}, {!Exchange},
       {!Forest}, {!Tree_frags} — distributed primitives (Lemma 1 etc.);
     - {!Dist_mst}, {!Fragments}, {!Boruvka} — the two-phase MST;
@@ -35,6 +36,9 @@ module Pqueue = Ln_graph.Pqueue
 module Engine = Ln_congest.Engine
 module Ledger = Ln_congest.Ledger
 module Trace = Ln_congest.Trace
+module Fault = Ln_congest.Fault
+module Reliable = Ln_congest.Reliable
+module Monitor = Ln_congest.Monitor
 module Bfs = Ln_prim.Bfs
 module Broadcast = Ln_prim.Broadcast
 module Convergecast = Ln_prim.Convergecast
@@ -90,10 +94,16 @@ module Quick = struct
       rounds_charged = Ledger.charged_total ledger;
     }
 
+  (* Every Quick entry point notes its seed in the construction's own
+     ledger, so any logged run can be replayed exactly. *)
+  let note_seed ledger seed =
+    Ledger.note ledger ~label:"seed" (string_of_int seed)
+
   (** Table 1 row 1: the (2k−1)(1+ε) light spanner. *)
   let light_spanner ?(seed = 0) ?(epsilon = 0.25) g ~k =
     let rng = Random.State.make [| seed; 0x11 |] in
     let sp = Light_spanner.build ~rng g ~k ~epsilon in
+    note_seed sp.Light_spanner.ledger seed;
     let stretch = Stats.max_edge_stretch g sp.Light_spanner.edges in
     (sp, quality_of g sp.Light_spanner.edges sp.Light_spanner.ledger ~stretch)
 
@@ -101,6 +111,7 @@ module Quick = struct
   let slt ?(seed = 0) ?(epsilon = 0.5) g ~rt =
     let rng = Random.State.make [| seed; 0x517 |] in
     let t = Slt.build ~rng g ~rt ~epsilon in
+    note_seed t.Slt.ledger seed;
     let stretch = Stats.tree_root_stretch g t.Slt.tree ~root:rt in
     (t, quality_of g t.Slt.edges t.Slt.ledger ~stretch)
 
@@ -114,6 +125,7 @@ module Quick = struct
   let doubling_spanner ?(seed = 0) ?(epsilon = 0.5) g =
     let rng = Random.State.make [| seed; 0xdd |] in
     let sp = Doubling_spanner.build ~rng g ~epsilon in
+    note_seed sp.Doubling_spanner.ledger seed;
     let stretch = Stats.max_edge_stretch g sp.Doubling_spanner.edges in
     (sp, quality_of g sp.Doubling_spanner.edges sp.Doubling_spanner.ledger ~stretch)
 end

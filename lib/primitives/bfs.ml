@@ -1,6 +1,7 @@
 module Graph = Ln_graph.Graph
 module Tree = Ln_graph.Tree
 module Engine = Ln_congest.Engine
+module Reliable = Ln_congest.Reliable
 
 type state = { dist : int; parent_edge : int }
 
@@ -56,3 +57,63 @@ let tree g ~root =
   let edges = ref [] in
   Array.iter (fun s -> if s.parent_edge >= 0 then edges := s.parent_edge :: !edges) states;
   (Tree.of_edges g ~root !edges, stats)
+
+(* The flood above adopts its *first* offer, which measures hop
+   distance only because fault-free synchronous floods advance in
+   lockstep. Under message loss (or the retransmission delays of
+   {!Ln_congest.Reliable}) first ≠ closest, so the robust variant is a
+   Bellman-Ford-style relaxation: keep the lexicographically smallest
+   [(dist, parent_edge)] seen so far and re-announce on every
+   improvement. Its fixpoint — true BFS layers, parent = smallest edge
+   id into the previous layer — depends only on which messages are
+   *eventually* delivered, not on their timing, which is exactly the
+   guarantee reliable links restore on a lossy network. *)
+let relaxing_program ~root : (state, msg) Engine.program =
+  let open Engine in
+  let announce ctx d =
+    let nbrs = ctx.neighbors in
+    let deg = Array.length nbrs in
+    let msg = Join d in
+    let rec outs i =
+      if i >= deg then [] else { via = fst nbrs.(i); msg } :: outs (i + 1)
+    in
+    outs 0
+  in
+  {
+    name = "bfs-relax";
+    words = (fun (Join _) -> 1);
+    init =
+      (fun ctx ->
+        if ctx.me = root then ({ dist = 0; parent_edge = -1 }, announce ctx 0)
+        else ({ dist = -1; parent_edge = -1 }, []));
+    step =
+      (fun ctx ~round:_ s inbox ->
+        let better d e =
+          s.dist < 0 || d < s.dist || (d = s.dist && e < s.parent_edge)
+        in
+        let best =
+          List.fold_left
+            (fun acc (r : msg received) ->
+              let (Join d) = r.payload in
+              let cand = (d + 1, r.edge) in
+              match acc with
+              | Some (bd, be) when (bd, be) <= cand -> acc
+              | _ -> if better (d + 1) r.edge then Some cand else acc)
+            None inbox
+        in
+        match best with
+        | Some (d, e) when ctx.me <> root && better d e ->
+          ({ dist = d; parent_edge = e }, announce ctx d, false)
+        | _ -> (s, [], false));
+  }
+
+let dists_of states = Array.map (fun s -> s.dist) states
+
+let layers ?faults g ~root =
+  let states, stats = Engine.run ?faults g (relaxing_program ~root) in
+  (dists_of states, stats)
+
+let layers_reliable ?max_retries ?faults g ~root =
+  let lifted = Reliable.lift ?max_retries (relaxing_program ~root) in
+  let states, stats = Engine.run ?faults g lifted in
+  (dists_of (Array.map Reliable.project states), stats)

@@ -153,3 +153,51 @@ let downcast ?word_cap ?words g ~tree ~items =
   per_node.(Tree.root tree) <- items;
   run_broadcast ~name:"broadcast-downcast" ~do_down:true ?word_cap ?words g ~tree
     ~items:per_node
+
+(* ------------------------------------------------------------------ *)
+(* Single-value flood — the minimal broadcast, used by the chaos
+   harness: forward the value once over every other edge. Timing-
+   independent (any delivery order reaches the same fixpoint on a
+   reliable network), so it composes with [Reliable.lift]. *)
+
+type flood_msg = Value of int
+
+let flood_program ~root ~value : (int option, flood_msg) Engine.program =
+  let open Engine in
+  let forward ctx except =
+    let nbrs = ctx.neighbors in
+    let deg = Array.length nbrs in
+    let rec outs i =
+      if i >= deg then []
+      else
+        let edge, _ = nbrs.(i) in
+        if edge = except then outs (i + 1)
+        else { via = edge; msg = Value value } :: outs (i + 1)
+    in
+    outs 0
+  in
+  {
+    name = "broadcast-flood";
+    words = (fun (Value _) -> 1);
+    init =
+      (fun ctx ->
+        if ctx.me = root then (Some value, forward ctx (-1)) else (None, []));
+    step =
+      (fun ctx ~round:_ s inbox ->
+        match s with
+        | Some _ -> (s, [], false)
+        | None -> (
+          match inbox with
+          | [] -> (s, [], false)
+          | (r : flood_msg received) :: _ ->
+            let (Value x) = r.payload in
+            (Some x, forward ctx r.edge, false)));
+  }
+
+let flood ?faults g ~root ~value =
+  Engine.run ?faults g (flood_program ~root ~value)
+
+let flood_reliable ?max_retries ?faults g ~root ~value =
+  let lifted = Ln_congest.Reliable.lift ?max_retries (flood_program ~root ~value) in
+  let states, stats = Engine.run ?faults g lifted in
+  (Array.map Ln_congest.Reliable.project states, stats)

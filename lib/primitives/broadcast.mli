@@ -40,3 +40,35 @@ val downcast :
   tree:Ln_graph.Tree.t ->
   items:'a list ->
   'a list array * Ln_congest.Engine.stats
+
+(** {2 Single-value flood}
+
+    The minimal broadcast, used by the chaos harness and the CLI:
+    [root] floods one integer to everyone. *)
+
+type flood_msg = Value of int
+
+(** Forward-once flood program; a node's state is the value it holds
+    ([None] until reached). Timing-independent, so it lifts through
+    {!Ln_congest.Reliable.lift} unchanged. *)
+val flood_program :
+  root:int -> value:int -> (int option, flood_msg) Ln_congest.Engine.program
+
+(** [flood ?faults g ~root ~value] runs the raw flood; under faults,
+    nodes beyond a dropped message never receive the value. *)
+val flood :
+  ?faults:Ln_congest.Fault.plan ->
+  Ln_graph.Graph.t ->
+  root:int ->
+  value:int ->
+  int option array * Ln_congest.Engine.stats
+
+(** Same flood under the ARQ combinator: every node connected to the
+    root by surviving links receives the value despite drops. *)
+val flood_reliable :
+  ?max_retries:int ->
+  ?faults:Ln_congest.Fault.plan ->
+  Ln_graph.Graph.t ->
+  root:int ->
+  value:int ->
+  int option array * Ln_congest.Engine.stats

@@ -85,6 +85,9 @@ let global_best ?(value_words = 2) g ~tree ~nkeys ~local ~better =
           (if up_stats.outcome = Round_limit || down_stats.outcome = Round_limit
            then Round_limit
            else Converged);
+        dropped_messages =
+          up_stats.dropped_messages + down_stats.dropped_messages;
+        retransmissions = up_stats.retransmissions + down_stats.retransmissions;
       }
   in
   (table, stats)

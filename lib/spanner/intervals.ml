@@ -124,6 +124,8 @@ let aggregate ?(value_words = 2) g ~tt ~is_center ~value ~combine =
         (if st1.outcome = Engine.Round_limit || st2.outcome = Engine.Round_limit
          then Engine.Round_limit
          else Engine.Converged);
+      dropped_messages = st1.dropped_messages + st2.dropped_messages;
+      retransmissions = st1.retransmissions + st2.retransmissions;
     }
   in
   (result, stats)

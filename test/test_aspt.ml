@@ -206,7 +206,10 @@ let prop_multi_source_prunes_at_bound =
         (fun t -> Hashtbl.fold (fun _ (d, _) acc -> acc && d <= bound +. 1e-9) t true)
         tables)
 
-let qcheck t = QCheck_alcotest.to_alcotest t
+(* Fixed QCheck seed: dune runtest must be deterministic, and any
+   failure replayable from the printed counterexample alone. *)
+let qcheck t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed1 |]) t
 
 let () =
   Alcotest.run "ln_aspt"

@@ -315,7 +315,10 @@ let test_keyed_empty () =
 
 (* ------------------------------------------------------------------ *)
 
-let qcheck t = QCheck_alcotest.to_alcotest t
+(* Fixed QCheck seed: dune runtest must be deterministic, and any
+   failure replayable from the printed counterexample alone. *)
+let qcheck t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed9 |]) t
 
 let () =
   Alcotest.run "ln_prim_deep"
