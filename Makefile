@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-smoke clean
+.PHONY: all build test bench bench-smoke chaos chaos-smoke trace-smoke clean
 
 all: build
 
@@ -28,6 +28,12 @@ chaos:
 # Small chaos matrix; also runs in `dune runtest` via @chaos-smoke.
 chaos-smoke:
 	dune build @chaos-smoke
+
+# Telemetry round-trip: record a small spanner trace as Chrome JSON and
+# JSONL, parse both back with `lightnet report`, and require >= 95% leaf
+# span round coverage. Also runs in `dune runtest` via @trace-smoke.
+trace-smoke:
+	dune build @trace-smoke
 
 clean:
 	dune clean

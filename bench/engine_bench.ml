@@ -660,7 +660,13 @@ let run_headline ~n ~blocks ~reps ~quota =
   in
   let ref_p, ref_ns = side Engine.Reference "reference" in
   let fast_p, fast_ns = side Engine.Fast "fast" in
-  let speedup = Engine.rounds_per_sec fast_p /. Engine.rounds_per_sec ref_p in
+  (* Engine wall is monotonic-clock based but can still round to zero
+     on a degenerate (tiny) workload; a 0/0 here would poison the JSON
+     with nan. Report 0 speedup instead. *)
+  let ref_rps = Engine.rounds_per_sec ref_p in
+  let speedup =
+    if ref_rps > 0.0 then Engine.rounds_per_sec fast_p /. ref_rps else 0.0
+  in
   Printf.printf "  speedup (rounds/sec, fast vs reference): %.2fx\n%!" speedup;
   let sidej (p, ns) backend =
     Json.Obj
@@ -679,6 +685,52 @@ let run_headline ~n ~blocks ~reps ~quota =
       ("after", sidej (fast_p, fast_ns) "fast");
       ("speedup_rounds_per_sec", Json.Float speedup);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: the headline fast-path BFS workload with a
+   recorder installed (per-round probe + span bookkeeping live) vs the
+   plain run. The recorder wraps only the measured block, not the
+   bechamel loop, so the event list stays bounded. The "off" side is
+   what the headline regression gate compares against. *)
+
+let run_telemetry_overhead ~n ~blocks ~reps =
+  let g = er ~seed:1 n in
+  Printf.printf "telemetry overhead: BFS on ER n=%d (fast backend)\n%!" n;
+  Engine.with_backend Engine.Fast (fun () ->
+      Gc.compact ();
+      ignore (Bfs.tree g ~root:0);
+      let off = best_block ~blocks ~reps (fun () -> ignore (Bfs.tree g ~root:0)) in
+      let on_best = ref off in
+      let (), trace =
+        Telemetry.record (fun () ->
+            on_best :=
+              best_block ~blocks ~reps (fun () ->
+                  Telemetry.span "bench-bfs" (fun () ->
+                      ignore (Bfs.tree g ~root:0))))
+      in
+      let on = !on_best in
+      let overhead_pct =
+        if off.Engine.wall > 0.0 then
+          100.0 *. ((on.Engine.wall -. off.Engine.wall) /. off.Engine.wall)
+        else 0.0
+      in
+      Printf.printf
+        "  off %.6fs/block  on %.6fs/block  overhead %+.1f%%  (%d events, %d rounds recorded)\n%!"
+        off.Engine.wall on.Engine.wall overhead_pct
+        (List.length trace.Telemetry.events)
+        trace.Telemetry.rounds;
+      Json.Obj
+        [
+          ("workload", Json.Str "bfs-er");
+          ("n", Json.Int n);
+          ("blocks", Json.Int blocks);
+          ("runs_per_block", Json.Int reps);
+          ("telemetry_off", Json.Obj (match perf_json off with Json.Obj kv -> kv | _ -> []));
+          ("telemetry_on", Json.Obj (match perf_json on with Json.Obj kv -> kv | _ -> []));
+          ("events_recorded", Json.Int (List.length trace.Telemetry.events));
+          ("rounds_recorded", Json.Int trace.Telemetry.rounds);
+          ("overhead_pct_engine_wall", Json.Float overhead_pct);
+        ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -720,6 +772,7 @@ let () =
     end
   in
   let headline = run_headline ~n:headline_n ~blocks ~reps ~quota in
+  let telemetry = run_telemetry_overhead ~n:headline_n ~blocks ~reps in
   let json =
     Json.Obj
       [
@@ -739,6 +792,7 @@ let () =
             ] );
         ("workloads", Json.List suite);
         ("headline", headline);
+        ("telemetry_overhead", telemetry);
       ]
   in
   let oc = open_out "BENCH_congest.json" in

@@ -44,8 +44,10 @@ let output_arg =
     & opt (some string) None
     & info [ "output" ] ~docv:"FILE" ~doc:"Write the resulting edge set (edge ids) to FILE.")
 
+(* The long alias makes the conventional [--n 200] spelling work:
+   cmdliner resolves it as an unambiguous prefix of [--nodes]. *)
 let n_arg =
-  Arg.(value & opt int 150 & info [ "n" ] ~docv:"N" ~doc:"Number of vertices.")
+  Arg.(value & opt int 150 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of vertices.")
 
 let model_arg =
   Arg.(
@@ -58,11 +60,38 @@ let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
 let ledger_arg =
   Arg.(value & flag & info [ "ledger" ] ~doc:"Print the per-phase round ledger.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record telemetry (phase spans, per-round timeseries, link loads) \
+           and write it to FILE: Chrome trace-event JSON (open in Perfetto) \
+           by default, the JSONL event log if FILE ends in .jsonl. Inspect \
+           with $(b,lightnet report).")
+
+(* Record telemetry around [f] and write the capture. Used by every
+   subcommand; the trace file is written before control returns, so
+   callers may exit afterwards. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let v, t = Telemetry.record f in
+    Telemetry.write_file t path;
+    Format.printf
+      "trace: %d events over %d engine rounds -> %s (leaf coverage %.1f%%)@."
+      (List.length t.Telemetry.events)
+      t.Telemetry.rounds path
+      (100.0 *. Telemetry.leaf_round_coverage t);
+    v
+
 let spanner_cmd =
-  let run n model seed k epsilon ledger input output =
+  let run n model seed k epsilon ledger input output trace =
     let g = make_graph ?input ~model ~n ~seed () in
     report_common g;
-    let sp, q = Quick.light_spanner ~seed ~epsilon g ~k in
+    let sp, q = with_trace trace (fun () -> Quick.light_spanner ~seed ~epsilon g ~k) in
     Format.printf "light spanner: %a@." Quick.pp_quality q;
     Format.printf "  promised: stretch <= %.2f@." sp.Light_spanner.stretch_bound;
     Format.printf "  buckets: %d in case 1, %d in case 2; E' edges %d@."
@@ -75,23 +104,27 @@ let spanner_cmd =
     | None -> ());
     if ledger then Format.printf "%a@." Ledger.pp sp.Light_spanner.ledger
   in
-  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Stretch parameter k.") in
+  let k_arg =
+    (* [--k] works as a prefix of [--k-stretch]. *)
+    Arg.(value & opt int 2 & info [ "k"; "k-stretch" ] ~doc:"Stretch parameter k.")
+  in
   let eps_arg = Arg.(value & opt float 0.25 & info [ "epsilon" ] ~doc:"Epsilon.") in
   Cmd.v
     (Cmd.info "spanner" ~doc:"Build the Section-5 light spanner (Table 1 row 1).")
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ k_arg $ eps_arg $ ledger_arg
-      $ input_arg $ output_arg)
+      $ input_arg $ output_arg $ trace_arg)
 
 let slt_cmd =
-  let run n model seed root epsilon gamma ledger =
+  let run n model seed root epsilon gamma ledger trace =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
     let rng = Random.State.make [| seed; 0x51 |] in
     let t =
-      match gamma with
-      | Some gamma -> Slt.build_light ~rng g ~rt:root ~gamma
-      | None -> Slt.build ~rng g ~rt:root ~epsilon
+      with_trace trace (fun () ->
+          match gamma with
+          | Some gamma -> Slt.build_light ~rng g ~rt:root ~gamma
+          | None -> Slt.build ~rng g ~rt:root ~epsilon)
     in
     Format.printf "SLT: stretch %.3f (promised %.1f), lightness %.3f (promised %.2f)@."
       (Stats.tree_root_stretch g t.Slt.tree ~root)
@@ -112,13 +145,13 @@ let slt_cmd =
     (Cmd.info "slt" ~doc:"Build the Section-4 shallow-light tree (Table 1 row 2).")
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ root_arg $ eps_arg $ gamma_arg
-      $ ledger_arg)
+      $ ledger_arg $ trace_arg)
 
 let net_cmd =
-  let run n model seed radius delta ledger =
+  let run n model seed radius delta ledger trace =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
-    let net = Quick.net ~seed ~delta g ~radius in
+    let net = with_trace trace (fun () -> Quick.net ~seed ~delta g ~radius) in
     Format.printf
       "net: %d points in %d iterations; covering <= %.2f, separation > %.2f@."
       (List.length net.Net.points) net.Net.iterations net.Net.covering_bound
@@ -134,13 +167,15 @@ let net_cmd =
   let delta_arg = Arg.(value & opt float 0.5 & info [ "delta" ] ~doc:"Slack delta.") in
   Cmd.v
     (Cmd.info "net" ~doc:"Build a Section-6 (alpha,beta)-net (Table 1 row 3).")
-    Term.(const run $ n_arg $ model_arg $ seed_arg $ radius_arg $ delta_arg $ ledger_arg)
+    Term.(
+      const run $ n_arg $ model_arg $ seed_arg $ radius_arg $ delta_arg
+      $ ledger_arg $ trace_arg)
 
 let doubling_cmd =
-  let run n model seed epsilon ledger =
+  let run n model seed epsilon ledger trace =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
-    let sp, q = Quick.doubling_spanner ~seed ~epsilon g in
+    let sp, q = with_trace trace (fun () -> Quick.doubling_spanner ~seed ~epsilon g) in
     Format.printf "doubling spanner: %a (%d scales, max table %d)@." Quick.pp_quality q
       sp.Doubling_spanner.scales sp.Doubling_spanner.max_table;
     if ledger then Format.printf "%a@." Ledger.pp sp.Doubling_spanner.ledger
@@ -149,15 +184,18 @@ let doubling_cmd =
   Cmd.v
     (Cmd.info "doubling"
        ~doc:"Build the Section-7 doubling-graph spanner (Table 1 row 4).")
-    Term.(const run $ n_arg $ model_arg $ seed_arg $ eps_arg $ ledger_arg)
+    Term.(const run $ n_arg $ model_arg $ seed_arg $ eps_arg $ ledger_arg $ trace_arg)
 
 let estimate_cmd =
-  let run n model seed alpha =
+  let run n model seed alpha trace =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
     let rng = Random.State.make [| seed; 0xe5 |] in
-    let bfs, _ = Bfs.tree g ~root:0 in
-    let est = Mst_weight.estimate ~rng g ~bfs ~alpha in
+    let est =
+      with_trace trace (fun () ->
+          let bfs = Telemetry.span "bfs-tree" (fun () -> fst (Bfs.tree g ~root:0)) in
+          Mst_weight.estimate ~rng g ~bfs ~alpha)
+    in
     let l = Mst_seq.weight g in
     Format.printf "Psi = %.1f; Psi/L = %.2f (guaranteed in [1, %.1f]); %d levels@."
       est.Mst_weight.psi (est.Mst_weight.psi /. l) est.Mst_weight.upper_factor
@@ -166,7 +204,7 @@ let estimate_cmd =
   let alpha_arg = Arg.(value & opt float 2.0 & info [ "alpha" ] ~doc:"Alpha.") in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Section-8 net-based MST weight estimation.")
-    Term.(const run $ n_arg $ model_arg $ seed_arg $ alpha_arg)
+    Term.(const run $ n_arg $ model_arg $ seed_arg $ alpha_arg $ trace_arg)
 
 (* Chaos runs: build a deterministic fault plan from --fault-seed,
    drive an algorithm through it, certify the result with Monitor, and
@@ -175,7 +213,7 @@ let estimate_cmd =
    description in the ledger) replays the exact run. *)
 let chaos_cmd =
   let run n model seed algo drop_prob drop_until crash_nodes link_fails
-      fault_seed reliable max_retries ledger =
+      fault_seed reliable max_retries ledger trace =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
     let n = Graph.n g in
@@ -208,7 +246,14 @@ let chaos_cmd =
     Ledger.note lg ~label:"fault-seed" (string_of_int fault_seed);
     Ledger.note lg ~label:"fault-plan" (Fault.describe plan);
     let before = Engine.snapshot_totals () in
+    (* Record only around the faulty run itself; the trace is written
+       before the non-zero exits below. *)
     let stats, report =
+      with_trace trace @@ fun () ->
+      (* One span over the whole chaotic run, so the trace's phase tree
+         attributes the rounds even for the uninstrumented raw
+         protocols. *)
+      Telemetry.span ("chaos/" ^ algo) @@ fun () ->
       match algo with
       | "bfs" ->
         let dist, stats =
@@ -328,7 +373,40 @@ let chaos_cmd =
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ algo_arg $ drop_arg
       $ drop_until_arg $ crash_arg $ link_arg $ fault_seed_arg $ reliable_arg
-      $ retries_arg $ ledger_arg)
+      $ retries_arg $ ledger_arg $ trace_arg)
+
+let report_cmd =
+  let run file min_coverage =
+    let t = Telemetry.load_file file in
+    Format.printf "%a" Telemetry.pp_report t;
+    match min_coverage with
+    | None -> ()
+    | Some thr ->
+      let c = Telemetry.leaf_round_coverage t in
+      if c < thr then begin
+        Format.printf "FAIL: leaf span coverage %.3f below required %.3f@." c thr;
+        Stdlib.exit 4
+      end
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file written by --trace (.json or .jsonl).")
+  in
+  let cov_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-coverage" ] ~docv:"FRACTION"
+          ~doc:
+            "Fail (exit 4) if less than this fraction of recorded engine \
+             rounds is attributed to leaf phase spans.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Pretty-print a captured telemetry trace (phase tree, coverage, edge-load histogram).")
+    Term.(const run $ file_arg $ cov_arg)
 
 let gen_cmd =
   let run n model seed output =
@@ -356,5 +434,6 @@ let () =
             doubling_cmd;
             estimate_cmd;
             chaos_cmd;
+            report_cmd;
             gen_cmd;
           ]))

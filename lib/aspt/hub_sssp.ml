@@ -2,6 +2,7 @@ module Graph = Ln_graph.Graph
 module Tree = Ln_graph.Tree
 module Engine = Ln_congest.Engine
 module Ledger = Ln_congest.Ledger
+module Telemetry = Ln_congest.Telemetry
 module Broadcast = Ln_prim.Broadcast
 module Exchange = Ln_prim.Exchange
 
@@ -82,6 +83,7 @@ let local_phase ~edge_ok ~hop_cap g hubs =
   (Array.map (fun s -> s.table) states, stats)
 
 let run ?(edge_ok = fun _ -> true) ?(hub_factor = 1.0) ~rng g ~bfs ~src =
+  Telemetry.span "hub-sssp" @@ fun () ->
   let n = Graph.n g in
   let ledger = Ledger.create () in
   (* Hub sampling: p = hub_factor * ln n / sqrt n, source always in. *)
@@ -93,8 +95,10 @@ let run ?(edge_ok = fun _ -> true) ?(hub_factor = 1.0) ~rng g ~bfs ~src =
   done;
   let hubs = !hubs in
   let hop_cap = (2 * int_of_float (Float.ceil (Float.sqrt fn))) + 2 in
-  let tables, st_local = local_phase ~edge_ok ~hop_cap g hubs in
-  Ledger.native ledger ~label:"hub/local-bf" st_local.Engine.rounds;
+  let tables =
+    Telemetry.span ~ledger "hub/local-bf" (fun () ->
+        fst (local_phase ~edge_ok ~hop_cap g hubs))
+  in
   (* Overlay relaxation: iterate broadcasts of hub source-distances. *)
   let est = Hashtbl.create (List.length hubs) in
   (* est: hub -> current source-distance upper bound *)
@@ -111,8 +115,10 @@ let run ?(edge_ok = fun _ -> true) ?(hub_factor = 1.0) ~rng g ~bfs ~src =
         | Some d -> items.(h) <- [ (h, d) ]
         | None -> ())
       hubs;
-    let all, st_b = Broadcast.all_to_all ~words:(fun _ -> 3) g ~tree:bfs ~items in
-    Ledger.native ledger ~label:"hub/overlay-broadcast" st_b.Engine.rounds;
+    let all =
+      Telemetry.span ~ledger "hub/overlay-broadcast" (fun () ->
+          fst (Broadcast.all_to_all ~words:(fun _ -> 3) g ~tree:bfs ~items))
+    in
     (* Each hub relaxes through its local table (local computation). *)
     List.iter
       (fun h' ->
@@ -148,11 +154,15 @@ let run ?(edge_ok = fun _ -> true) ?(hub_factor = 1.0) ~rng g ~bfs ~src =
     hubs;
   best.(src) <- 0.0;
   (* Repair sweep: exact Bellman–Ford from the upper bounds. *)
-  let res, st_rep = Bellman_ford.sssp ~edge_ok ~init:best g ~src in
-  Ledger.native ledger ~label:"hub/repair-bf" st_rep.Engine.rounds;
+  let res =
+    Telemetry.span ~ledger "hub/repair-bf" (fun () ->
+        fst (Bellman_ford.sssp ~edge_ok ~init:best g ~src))
+  in
   (* Consistent parent pointers: one exchange of final distances. *)
-  let nbr_dists, st_ex = Exchange.floats g res.Bellman_ford.dist in
-  Ledger.native ledger ~label:"hub/parent-exchange" st_ex.Engine.rounds;
+  let nbr_dists =
+    Telemetry.span ~ledger "hub/parent-exchange" (fun () ->
+        fst (Exchange.floats g res.Bellman_ford.dist))
+  in
   let parent_edge = Array.make n (-1) in
   let eps_rel = 1e-9 in
   for v = 0 to n - 1 do

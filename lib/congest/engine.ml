@@ -164,6 +164,54 @@ let count_retransmission () = incr !retrans_cell
 
 let ambient_faults : (Fault.plan * int option) option ref = ref None
 
+(* Ambient observability hooks, installed by Telemetry. Both are
+   resolved once per run; when unset the residual cost is one [ref]
+   read per run (observer) and one option match per round (probe), so
+   disabled telemetry is free on the hot path. *)
+
+type round_probe =
+  run:int ->
+  round:int ->
+  messages:int ->
+  words:int ->
+  steps:int ->
+  active:int ->
+  drops:int ->
+  unit
+
+let round_probe : round_probe option ref = ref None
+let probe_runs = ref 0
+
+let set_round_probe p =
+  round_probe := p;
+  probe_runs := 0
+
+let ambient_observer : observer option ref = ref None
+let set_ambient_observer o = ambient_observer := o
+
+(* Effective observer for a run: the explicit one, the ambient one, or
+   their composition (explicit first, matching historical call order). *)
+let resolve_observer observer =
+  match (observer, !ambient_observer) with
+  | None, None -> None
+  | Some _, None -> observer
+  | None, Some _ -> !ambient_observer
+  | Some o, Some a ->
+    Some
+      (fun ~round ~from ~dest ~words ->
+        o ~round ~from ~dest ~words;
+        a ~round ~from ~dest ~words)
+
+(* Claim a run sequence number for the probe stream (0-based, reset by
+   [set_round_probe]). *)
+let probe_run_id probe =
+  match probe with
+  | None -> 0
+  | Some _ ->
+    let id = !probe_runs in
+    probe_runs := id + 1;
+    id
+
 let with_faults ?max_rounds plan f =
   let old = !ambient_faults in
   ambient_faults := Some (plan, max_rounds);
@@ -209,6 +257,9 @@ let run_reference ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
   let faults, max_rounds, on_round_limit =
     resolve_fault_context ~faults ~max_rounds ~on_round_limit
   in
+  let observer = resolve_observer observer in
+  let probe = !round_probe in
+  let probe_run = probe_run_id probe in
   let t0 = Unix.gettimeofday () in
   let n = Graph.n g in
   let ctx_of v =
@@ -281,11 +332,28 @@ let run_reference ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
         end)
       outs
   in
+  (* Per-round telemetry deltas (only consulted when a probe is set). *)
+  let pm = ref 0 and pw = ref 0 and ps = ref 0 and pd = ref 0 in
+  let emit_sample ~round ~active_now =
+    match probe with
+    | None -> ()
+    | Some f ->
+      f ~run:probe_run ~round
+        ~messages:(!messages - !pm)
+        ~words:(!total_words - !pw)
+        ~steps:(!steps - !ps) ~active:active_now
+        ~drops:(!dropped - !pd);
+      pm := !messages;
+      pw := !total_words;
+      ps := !steps;
+      pd := !dropped
+  in
   (* Round 0: init. *)
   Hashtbl.reset sent_this_round;
   let inits = Array.init n (fun v -> p.init ctxs.(v)) in
   let states = Array.map fst inits in
   Array.iteri (fun v (_, outs) -> deliver ~sender:v outs) inits;
+  emit_sample ~round:0 ~active_now:n;
   let rounds = ref 0 in
   let continue = ref (!in_flight > 0 || Array.exists (fun b -> b) active) in
   while !continue && !rounds < max_rounds do
@@ -298,7 +366,7 @@ let run_reference ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
     done;
     in_flight := 0;
     Hashtbl.reset sent_this_round;
-    let any_active = ref false in
+    let round_active = ref 0 in
     for v = 0 to n - 1 do
       let msgs = inbox.(v) in
       if
@@ -316,13 +384,14 @@ let run_reference ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
         let s, outs, still = p.step ctxs.(v) ~round:!rounds states.(v) msgs in
         states.(v) <- s;
         active.(v) <- still;
-        if still then any_active := true;
+        if still then incr round_active;
         deliver ~sender:v outs
       end
       else incr skipped;
       inbox.(v) <- []
     done;
-    continue := !in_flight > 0 || !any_active
+    emit_sample ~round:!rounds ~active_now:!round_active;
+    continue := !in_flight > 0 || !round_active > 0
   done;
   let outcome = if !continue then Round_limit else Converged in
   if outcome = Round_limit && on_round_limit = `Raise then
@@ -519,6 +588,9 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
   let faults, max_rounds, on_round_limit =
     resolve_fault_context ~faults ~max_rounds ~on_round_limit
   in
+  let observer = resolve_observer observer in
+  let probe = !round_probe in
+  let probe_run = probe_run_id probe in
   let t0 = Unix.gettimeofday () in
   let n = Graph.n g in
   let sc = acquire_scratch g in
@@ -612,6 +684,22 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
   let steps = ref 0 in
   let skipped = ref 0 in
   let current_round = ref 0 in
+  (* Per-round telemetry deltas (only consulted when a probe is set). *)
+  let pm = ref 0 and pw = ref 0 and ps = ref 0 and pd = ref 0 in
+  let emit_sample ~round ~active_now =
+    match probe with
+    | None -> ()
+    | Some f ->
+      f ~run:probe_run ~round
+        ~messages:(!messages - !pm)
+        ~words:(!total_words - !pw)
+        ~steps:(!steps - !ps) ~active:active_now
+        ~drops:(!dropped - !pd);
+      pm := !messages;
+      pw := !total_words;
+      ps := !steps;
+      pd := !dropped
+  in
   (* Delivery is a hand-rolled recursive loop rather than [List.iter f]:
      the iterated closure would capture [sender] plus the engine state
      and be re-allocated on every call (once per stepped node). *)
@@ -686,6 +774,7 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
     deliver v init_outs.(v);
     push_next v
   done;
+  emit_sample ~round:0 ~active_now:n;
   let rounds = ref 0 in
   while !wl_nxt_len > 0 && !rounds < max_rounds do
     incr rounds;
@@ -728,6 +817,7 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
     end;
     let wlen = !wl_cur_len in
     skipped := !skipped + (n - wlen);
+    let round_active = ref 0 in
     let arena = !cur in
     let heads = !head_cur in
     (* Materialize an inbox chain as a list in delivery-prepend order
@@ -764,11 +854,15 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
           let s, outs, still = p.step ctxs.(v) ~round:!rounds states.(v) msgs in
           states.(v) <- s;
           active.(v) <- still;
-          if still then push_next v;
+          if still then begin
+            incr round_active;
+            push_next v
+          end;
           deliver v outs
         end
       end
-    done
+    done;
+    emit_sample ~round:!rounds ~active_now:!round_active
   done;
   let outcome = if !wl_nxt_len > 0 then Round_limit else Converged in
   if outcome = Round_limit && on_round_limit = `Raise then

@@ -60,6 +60,38 @@ type ('s, 'm) program = {
     analyses; see {!val:run}. *)
 type observer = round:int -> from:int -> dest:int -> words:int -> unit
 
+(** Per-round telemetry sample, called by both backends at the end of
+    every executed round with that round's *deltas*: messages and
+    words sent, node steps executed, nodes still active after the
+    round, and fault-dropped messages. Round 0 is the init round
+    (steps 0, active = n). [run] is a sequence number distinguishing
+    consecutive engine runs (reset by {!set_round_probe}). The
+    sample stream is part of the backends' observational contract:
+    for any program, {!run_fast} and {!run_reference} produce
+    identical streams. *)
+type round_probe =
+  run:int ->
+  round:int ->
+  messages:int ->
+  words:int ->
+  steps:int ->
+  active:int ->
+  drops:int ->
+  unit
+
+(** Install (or clear) the process-ambient round probe. Installing
+    resets the run sequence number. When unset the per-round cost is
+    one [ref] read — telemetry is free when disabled. Used by
+    {!Telemetry}; prefer {!Telemetry.record} over calling this
+    directly. *)
+val set_round_probe : round_probe option -> unit
+
+(** Install (or clear) a process-ambient message observer, called for
+    every message of every run *in addition to* any per-run
+    [?observer]. Resolved once per run: zero per-message cost when
+    unset. Used by {!Telemetry} to aggregate link loads. *)
+val set_ambient_observer : observer option -> unit
+
 (** How a run ended: quiescence, or the [max_rounds] cap. *)
 type outcome = Converged | Round_limit
 
@@ -118,10 +150,15 @@ val snapshot_totals : unit -> perf
     {!snapshot_totals} snapshot. *)
 val totals_since : perf -> perf
 
-(** Fraction of node-rounds the active-set scheduler skipped. *)
+(** Fraction of node-rounds the active-set scheduler skipped.
+    Total guarded: 0.0 when nothing was scanned (never [nan]). *)
 val skip_ratio : perf -> float
 
+(** Throughput rates. Guarded against zero or sub-resolution [wall]
+    (smoke runs can finish inside one clock tick): both return 0.0
+    rather than [inf]/[nan] when the denominator is not positive. *)
 val rounds_per_sec : perf -> float
+
 val messages_per_sec : perf -> float
 val pp_perf : Format.formatter -> perf -> unit
 

@@ -1,0 +1,754 @@
+type event =
+  | Span_begin of { id : int; parent : int; name : string; r0 : int; t : float }
+  | Span_end of {
+      id : int;
+      name : string;
+      r1 : int;
+      rounds : int;
+      runs : int;
+      steps : int;
+      messages : int;
+      words : int;
+      drops : int;
+      retrans : int;
+      wall : float;
+      t : float;
+    }
+  | Round of {
+      run : int;
+      round : int;
+      messages : int;
+      words : int;
+      steps : int;
+      active : int;
+      drops : int;
+    }
+  | Link of { from : int; dest : int; messages : int }
+
+type t = { events : event list; rounds : int; wall : float }
+
+(* ------------------------------------------------------------------ *)
+(* Recording state                                                     *)
+
+type state = {
+  mutable rev_events : event list;  (* newest first *)
+  mutable next_id : int;  (* span ids from 1; parent 0 = root *)
+  mutable stack : int list;  (* open span ids, innermost first *)
+  links : (int * int, int ref) Hashtbl.t;
+  mutable rounds : int;  (* executed engine rounds observed *)
+  rounds_base : int;  (* Engine.totals.rounds at start *)
+  t0 : float;
+}
+
+let current : state option ref = ref None
+let recording () = Option.is_some !current
+
+let start () =
+  if recording () then invalid_arg "Telemetry.start: already recording";
+  let st =
+    {
+      rev_events = [];
+      next_id = 1;
+      stack = [];
+      links = Hashtbl.create 256;
+      rounds = 0;
+      rounds_base = Engine.totals.rounds;
+      t0 = Unix.gettimeofday ();
+    }
+  in
+  current := Some st;
+  Engine.set_round_probe
+    (Some
+       (fun ~run ~round ~messages ~words ~steps ~active ~drops ->
+         if round > 0 then st.rounds <- st.rounds + 1;
+         st.rev_events <-
+           Round { run; round; messages; words; steps; active; drops }
+           :: st.rev_events));
+  Engine.set_ambient_observer
+    (Some
+       (fun ~round:_ ~from ~dest ~words:_ ->
+         match Hashtbl.find_opt st.links (from, dest) with
+         | Some r -> incr r
+         | None -> Hashtbl.add st.links (from, dest) (ref 1)))
+
+let stop () =
+  match !current with
+  | None -> invalid_arg "Telemetry.stop: not recording"
+  | Some st ->
+    Engine.set_round_probe None;
+    Engine.set_ambient_observer None;
+    current := None;
+    let link_events =
+      Hashtbl.fold (fun (f, d) r acc -> ((f, d), !r) :: acc) st.links []
+      |> List.sort (fun ((f1, d1), _) ((f2, d2), _) ->
+             let c = Int.compare f1 f2 in
+             if c <> 0 then c else Int.compare d1 d2)
+      |> List.map (fun ((from, dest), messages) -> Link { from; dest; messages })
+    in
+    {
+      events = List.rev_append st.rev_events link_events;
+      rounds = st.rounds;
+      wall = Unix.gettimeofday () -. st.t0;
+    }
+
+let record f =
+  start ();
+  match f () with
+  | v -> (v, stop ())
+  | exception e ->
+    (try ignore (stop ()) with _ -> ());
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let span ?ledger name f =
+  let before = Engine.snapshot_totals () in
+  let id =
+    match !current with
+    | None -> 0
+    | Some st ->
+      let id = st.next_id in
+      st.next_id <- id + 1;
+      let parent = match st.stack with [] -> 0 | p :: _ -> p in
+      st.stack <- id :: st.stack;
+      st.rev_events <-
+        Span_begin
+          {
+            id;
+            parent;
+            name;
+            r0 = Engine.totals.rounds - st.rounds_base;
+            t = Unix.gettimeofday () -. st.t0;
+          }
+        :: st.rev_events;
+      id
+  in
+  let close () =
+    (* A span opened before [start] (id = 0) or whose recording already
+       stopped leaves no event; the measurement side still runs. *)
+    let d = Engine.totals_since before in
+    (match !current with
+    | Some st when id > 0 ->
+      (match st.stack with
+      | top :: rest when top = id -> st.stack <- rest
+      | _ -> ());
+      st.rev_events <-
+        Span_end
+          {
+            id;
+            name;
+            r1 = Engine.totals.rounds - st.rounds_base;
+            rounds = d.rounds;
+            runs = d.runs;
+            steps = d.steps;
+            messages = d.messages;
+            words = d.words;
+            drops = d.dropped_messages;
+            retrans = d.retransmissions;
+            wall = d.wall;
+            t = Unix.gettimeofday () -. st.t0;
+          }
+        :: st.rev_events
+    | _ -> ());
+    d
+  in
+  match f () with
+  | v ->
+    let d = close () in
+    (match ledger with
+    | Some l -> Ledger.native l ~label:name d.rounds
+    | None -> ());
+    v
+  | exception e ->
+    ignore (close ());
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (hand-rolled: no external dependencies)               *)
+
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* [det] drops the non-deterministic fields ([t], [wall]) so the same
+   serializer yields both the JSONL lines and the canonical
+   backend-comparison stream. *)
+let add_event ~det b e =
+  let fld_i name v = Printf.bprintf b ",\"%s\":%d" name v in
+  let fld_f name v = if not det then Printf.bprintf b ",\"%s\":%.6f" name v in
+  (match e with
+  | Span_begin { id; parent; name; r0; t } ->
+    Buffer.add_string b "{\"type\":\"span_begin\"";
+    fld_i "id" id;
+    fld_i "parent" parent;
+    Buffer.add_string b ",\"name\":";
+    add_json_string b name;
+    fld_i "r0" r0;
+    fld_f "t" t
+  | Span_end
+      {
+        id;
+        name;
+        r1;
+        rounds;
+        runs;
+        steps;
+        messages;
+        words;
+        drops;
+        retrans;
+        wall;
+        t;
+      } ->
+    Buffer.add_string b "{\"type\":\"span_end\"";
+    fld_i "id" id;
+    Buffer.add_string b ",\"name\":";
+    add_json_string b name;
+    fld_i "r1" r1;
+    fld_i "rounds" rounds;
+    fld_i "runs" runs;
+    fld_i "steps" steps;
+    fld_i "messages" messages;
+    fld_i "words" words;
+    fld_i "drops" drops;
+    fld_i "retrans" retrans;
+    fld_f "wall" wall;
+    fld_f "t" t
+  | Round { run; round; messages; words; steps; active; drops } ->
+    Buffer.add_string b "{\"type\":\"round\"";
+    fld_i "run" run;
+    fld_i "round" round;
+    fld_i "messages" messages;
+    fld_i "words" words;
+    fld_i "steps" steps;
+    fld_i "active" active;
+    fld_i "drops" drops
+  | Link { from; dest; messages } ->
+    Buffer.add_string b "{\"type\":\"link\"";
+    fld_i "from" from;
+    fld_i "dest" dest;
+    fld_i "messages" messages);
+  Buffer.add_char b '}'
+
+let add_meta ~det b (t : t) =
+  Printf.bprintf b "{\"type\":\"meta\",\"version\":1,\"rounds\":%d" t.rounds;
+  if not det then Printf.bprintf b ",\"wall\":%.6f" t.wall;
+  Buffer.add_char b '}'
+
+let deterministic_lines t =
+  let b = Buffer.create 256 in
+  let line f =
+    Buffer.clear b;
+    f b;
+    Buffer.contents b
+  in
+  line (fun b -> add_meta ~det:true b t)
+  :: List.map (fun e -> line (fun b -> add_event ~det:true b e)) t.events
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  add_meta ~det:false b t;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun e ->
+      add_event ~det:false b e;
+      Buffer.add_char b '\n')
+    t.events;
+  Buffer.contents b
+
+(* Chrome trace-event format. Virtual time axis: one executed engine
+   round = one microsecond tick; rounds accumulate across engine runs
+   (the same clock as [Span_begin.r0]). *)
+let to_chrome t =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let ev s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  ev {|{"ph":"M","pid":1,"tid":1,"name":"process_name","args":{"name":"lightnet"}}|};
+  ev {|{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"phases"}}|};
+  let run_base = ref 0 and cum = ref 0 in
+  List.iter
+    (fun e ->
+      match e with
+      | Span_begin { name; r0; _ } ->
+        let nb = Buffer.create 64 in
+        add_json_string nb name;
+        ev
+          (Printf.sprintf {|{"ph":"B","pid":1,"tid":1,"ts":%d,"name":%s}|} r0
+             (Buffer.contents nb))
+      | Span_end { r1; rounds; runs; steps; messages; words; drops; retrans; _ }
+        ->
+        ev
+          (Printf.sprintf
+             {|{"ph":"E","pid":1,"tid":1,"ts":%d,"args":{"rounds":%d,"runs":%d,"steps":%d,"messages":%d,"words":%d,"drops":%d,"retrans":%d}}|}
+             r1 rounds runs steps messages words drops retrans)
+      | Round { round; messages; words; steps; active; drops; _ } ->
+        if round = 0 then run_base := !cum;
+        let ts = !run_base + round in
+        if ts > !cum then cum := ts;
+        ev
+          (Printf.sprintf
+             {|{"ph":"C","pid":1,"tid":1,"ts":%d,"name":"traffic","args":{"messages":%d,"words":%d}}|}
+             ts messages words);
+        ev
+          (Printf.sprintf
+             {|{"ph":"C","pid":1,"tid":1,"ts":%d,"name":"nodes","args":{"active":%d,"steps":%d}}|}
+             ts active steps);
+        ev
+          (Printf.sprintf
+             {|{"ph":"C","pid":1,"tid":1,"ts":%d,"name":"drops","args":{"drops":%d}}|}
+             ts drops)
+      | Link _ -> ())
+    t.events;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\",\n\"lightnet\":{";
+  Printf.bprintf b "\"version\":1,\"rounds\":%d,\"wall\":%.6f,\"events\":[\n"
+    t.rounds t.wall;
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if !first then first := false else Buffer.add_string b ",\n";
+      add_event ~det:false b e)
+    t.events;
+  Buffer.add_string b "\n]}}\n";
+  Buffer.contents b
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (if Filename.check_suffix path ".jsonl" then to_jsonl t
+         else to_chrome t))
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser (for [load_file] — traces are machine-written,
+   so this only needs to cover the JSON we and Perfetto-compatible
+   tools emit).                                                        *)
+
+module Json = struct
+  type v =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of v list
+    | Obj of (string * v) list
+
+  exception Error of string
+
+  let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+  let parse (s : string) : v =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if peek () = c then incr pos
+      else fail "expected %c at offset %d" c !pos
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail "bad literal at offset %d" !pos
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (if !pos >= n then fail "unterminated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char b '"'; incr pos
+           | '\\' -> Buffer.add_char b '\\'; incr pos
+           | '/' -> Buffer.add_char b '/'; incr pos
+           | 'b' -> Buffer.add_char b '\b'; incr pos
+           | 'f' -> Buffer.add_char b '\012'; incr pos
+           | 'n' -> Buffer.add_char b '\n'; incr pos
+           | 'r' -> Buffer.add_char b '\r'; incr pos
+           | 't' -> Buffer.add_char b '\t'; incr pos
+           | 'u' ->
+             if !pos + 4 >= n then fail "truncated \\u escape";
+             let hex = String.sub s (!pos + 1) 4 in
+             let cp =
+               try int_of_string ("0x" ^ hex)
+               with _ -> fail "bad \\u escape %s" hex
+             in
+             (* UTF-8 encode the BMP code point. *)
+             if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+             else if cp < 0x800 then begin
+               Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+               Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+             end
+             else begin
+               Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+               Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+               Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+             end;
+             pos := !pos + 5
+           | c -> fail "bad escape \\%c" c);
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr pos
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match float_of_string_opt tok with
+      | Some f -> Num f
+      | None -> fail "bad number %S at offset %d" tok start
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              incr pos;
+              members ((k, v) :: acc)
+            | '}' ->
+              incr pos;
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or } at offset %d" !pos
+          in
+          members []
+        end
+      | '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              incr pos;
+              elems (v :: acc)
+            | ']' ->
+              incr pos;
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] at offset %d" !pos
+          in
+          elems []
+        end
+      | '"' -> Str (parse_string ())
+      | 'n' -> literal "null" Null
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage at offset %d" !pos;
+    v
+
+  let member k = function
+    | Obj l -> ( match List.assoc_opt k l with Some v -> v | None -> Null)
+    | _ -> Null
+
+  let to_int = function
+    | Num f -> int_of_float f
+    | v -> fail "expected number, got %s" (match v with Str _ -> "string" | _ -> "non-number")
+
+  let to_float_opt = function Num f -> Some f | _ -> None
+
+  let to_string = function Str s -> s | _ -> fail "expected string"
+end
+
+let event_of_json j =
+  let i k = Json.to_int (Json.member k j) in
+  let f k = Option.value ~default:0.0 (Json.to_float_opt (Json.member k j)) in
+  match Json.to_string (Json.member "type" j) with
+  | "meta" -> `Meta (i "rounds", f "wall")
+  | "span_begin" ->
+    `Event
+      (Span_begin
+         {
+           id = i "id";
+           parent = i "parent";
+           name = Json.to_string (Json.member "name" j);
+           r0 = i "r0";
+           t = f "t";
+         })
+  | "span_end" ->
+    `Event
+      (Span_end
+         {
+           id = i "id";
+           name = Json.to_string (Json.member "name" j);
+           r1 = i "r1";
+           rounds = i "rounds";
+           runs = i "runs";
+           steps = i "steps";
+           messages = i "messages";
+           words = i "words";
+           drops = i "drops";
+           retrans = i "retrans";
+           wall = f "wall";
+           t = f "t";
+         })
+  | "round" ->
+    `Event
+      (Round
+         {
+           run = i "run";
+           round = i "round";
+           messages = i "messages";
+           words = i "words";
+           steps = i "steps";
+           active = i "active";
+           drops = i "drops";
+         })
+  | "link" ->
+    `Event (Link { from = i "from"; dest = i "dest"; messages = i "messages" })
+  | ty -> Json.fail "unknown event type %S" ty
+
+let of_json_objects objs =
+  let rounds = ref 0 and wall = ref 0.0 in
+  let events =
+    List.filter_map
+      (fun j ->
+        match event_of_json j with
+        | `Meta (r, w) ->
+          rounds := r;
+          wall := w;
+          None
+        | `Event e -> Some e)
+      objs
+  in
+  { events; rounds = !rounds; wall = !wall }
+
+let load_file path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  try
+    if Filename.check_suffix path ".jsonl" then
+      String.split_on_char '\n' content
+      |> List.filter (fun l -> String.trim l <> "")
+      |> List.map Json.parse
+      |> of_json_objects
+    else
+      match Json.member "lightnet" (Json.parse content) with
+      | Json.Obj _ as ln ->
+        let t =
+          match Json.member "events" ln with
+          | Json.Arr evs -> of_json_objects evs
+          | _ -> Json.fail "lightnet.events missing"
+        in
+        {
+          t with
+          rounds = Json.to_int (Json.member "rounds" ln);
+          wall =
+            Option.value ~default:0.0
+              (Json.to_float_opt (Json.member "wall" ln));
+        }
+      | _ -> Json.fail "no \"lightnet\" section (not a lightnet trace?)"
+  with Json.Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+
+(* ------------------------------------------------------------------ *)
+(* Span tree, coverage, report                                         *)
+
+type node = {
+  n_id : int;
+  n_name : string;
+  n_rounds : int;
+  n_messages : int;
+  n_wall : float;
+  mutable n_children : node list;  (* reversed during build *)
+}
+
+(* Rebuild the span forest from begin/end events. Spans with no
+   matching [Span_end] (recording stopped inside them) appear with
+   zero counters. *)
+let span_forest (t : t) =
+  let by_id = Hashtbl.create 64 in
+  let parents = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Span_begin { id; parent; name; _ } ->
+        let node =
+          {
+            n_id = id;
+            n_name = name;
+            n_rounds = 0;
+            n_messages = 0;
+            n_wall = 0.0;
+            n_children = [];
+          }
+        in
+        Hashtbl.replace by_id id node;
+        Hashtbl.replace parents id parent;
+        order := id :: !order
+      | Span_end { id; rounds; messages; wall; _ } -> (
+        match Hashtbl.find_opt by_id id with
+        | Some node ->
+          Hashtbl.replace by_id id
+            { node with n_rounds = rounds; n_messages = messages; n_wall = wall }
+        | None -> ())
+      | _ -> ())
+    t.events;
+  (* Link children to parents in span-open order. *)
+  let roots = ref [] in
+  List.iter
+    (fun id ->
+      let node = Hashtbl.find by_id id in
+      match Hashtbl.find_opt parents id with
+      | Some p when p > 0 -> (
+        match Hashtbl.find_opt by_id p with
+        | Some parent -> parent.n_children <- node :: parent.n_children
+        | None -> roots := node :: !roots)
+      | _ -> roots := node :: !roots)
+    (List.rev !order);
+  let rec finalize n =
+    n.n_children <- List.rev n.n_children;
+    List.iter finalize n.n_children
+  in
+  let roots = List.rev !roots in
+  List.iter finalize roots;
+  roots
+
+let leaf_round_coverage (t : t) =
+  if t.rounds = 0 then 1.0
+  else begin
+    let leaf_rounds = ref 0 in
+    let rec visit n =
+      if n.n_children = [] then leaf_rounds := !leaf_rounds + n.n_rounds
+      else List.iter visit n.n_children
+    in
+    List.iter visit (span_forest t);
+    float_of_int !leaf_rounds /. float_of_int t.rounds
+  end
+
+let pp_report ppf (t : t) =
+  let runs = ref 0
+  and messages = ref 0
+  and words = ref 0
+  and drops = ref 0 in
+  List.iter
+    (fun e ->
+      match e with
+      | Round r ->
+        if r.round = 0 then incr runs;
+        messages := !messages + r.messages;
+        words := !words + r.words;
+        drops := !drops + r.drops
+      | _ -> ())
+    t.events;
+  Format.fprintf ppf
+    "trace: %d engine runs, %d rounds, %d msgs, %d words (wall %.3fs)"
+    !runs t.rounds !messages !words t.wall;
+  if !drops > 0 then Format.fprintf ppf ", %d dropped" !drops;
+  Format.fprintf ppf "@.";
+  let roots = span_forest t in
+  if roots <> [] then begin
+    Format.fprintf ppf "@.phase tree (rounds, share of recorded, messages):@.";
+    let total = max t.rounds 1 in
+    let rec pp_node depth n =
+      Format.fprintf ppf "  %s%-*s %8d %5.1f%% %10d msgs %8.3fs@."
+        (String.make (2 * depth) ' ')
+        (max 1 (36 - (2 * depth)))
+        n.n_name n.n_rounds
+        (100.0 *. float_of_int n.n_rounds /. float_of_int total)
+        n.n_messages n.n_wall;
+      List.iter (pp_node (depth + 1)) n.n_children
+    in
+    List.iter (pp_node 0) roots;
+    Format.fprintf ppf "leaf span coverage: %.1f%% of %d recorded rounds@."
+      (100.0 *. leaf_round_coverage t)
+      t.rounds
+  end;
+  let links = List.filter_map
+      (function Link { messages; _ } -> Some messages | _ -> None)
+      t.events
+  in
+  if links <> [] then begin
+    (* log2 buckets: bucket k counts links with load in [2^k, 2^(k+1)). *)
+    let buckets = Hashtbl.create 16 in
+    let maxb = ref 0 in
+    List.iter
+      (fun m ->
+        let k = if m <= 0 then 0 else int_of_float (Float.log2 (float_of_int m)) in
+        if k > !maxb then maxb := k;
+        Hashtbl.replace buckets k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt buckets k)))
+      links;
+    Format.fprintf ppf "@.edge-load histogram (%d directed links):@."
+      (List.length links);
+    for k = 0 to !maxb do
+      match Hashtbl.find_opt buckets k with
+      | None -> ()
+      | Some c ->
+        Format.fprintf ppf "  [%6d, %6d) %6d links@." (1 lsl k)
+          (1 lsl (k + 1))
+          c
+    done
+  end

@@ -49,8 +49,16 @@ let peak_round t =
     t.per_round (0, 0)
 
 let link_load t =
+  (* Load descending; ties broken by (from, dest) ascending so the
+     ordering is independent of hashtable iteration order (stable
+     across OCaml versions and hash seeds). *)
   Hashtbl.fold (fun link m acc -> (link, m) :: acc) t.per_link []
-  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  |> List.sort (fun ((f1, d1), a) ((f2, d2), b) ->
+         let c = Int.compare b a in
+         if c <> 0 then c
+         else
+           let c = Int.compare f1 f2 in
+           if c <> 0 then c else Int.compare d1 d2)
 
 let peak_link t = match link_load t with (_, m) :: _ -> m | [] -> 0
 

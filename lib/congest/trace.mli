@@ -40,7 +40,9 @@ val round_load : t -> int -> int * int
 val peak_round : t -> int * int
 
 (** [link_load t] lists ((from, dest), messages) pairs sorted by
-    decreasing load — the congestion profile. *)
+    decreasing load — the congestion profile. Ties are broken by
+    [(from, dest)] ascending, so the ordering (and any digest of it)
+    is fully deterministic across OCaml versions and hash seeds. *)
 val link_load : t -> ((int * int) * int) list
 
 (** Messages on the single busiest directed link. *)

@@ -36,6 +36,7 @@ module Pqueue = Ln_graph.Pqueue
 module Engine = Ln_congest.Engine
 module Ledger = Ln_congest.Ledger
 module Trace = Ln_congest.Trace
+module Telemetry = Ln_congest.Telemetry
 module Fault = Ln_congest.Fault
 module Reliable = Ln_congest.Reliable
 module Monitor = Ln_congest.Monitor

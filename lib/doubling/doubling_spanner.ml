@@ -2,6 +2,7 @@ module Graph = Ln_graph.Graph
 module Mst_seq = Ln_graph.Mst_seq
 module Engine = Ln_congest.Engine
 module Ledger = Ln_congest.Ledger
+module Telemetry = Ln_congest.Telemetry
 module Bfs = Ln_prim.Bfs
 module Bellman_ford = Ln_aspt.Bellman_ford
 module Net = Ln_nets.Net
@@ -78,10 +79,12 @@ let report_paths g (tables : Bellman_ford.tables) ~pairs ~mark =
 let build ~rng g ~epsilon =
   if not (epsilon > 0.0 && epsilon <= 0.5) then
     invalid_arg "Doubling_spanner.build: epsilon must be in (0, 0.5]";
+  Telemetry.span "doubling-spanner" @@ fun () ->
   let n = Graph.n g in
   let ledger = Ledger.create () in
-  let bfs, st_bfs = Bfs.tree g ~root:0 in
-  Ledger.native ledger ~label:"bfs-tree" st_bfs.Engine.rounds;
+  let bfs =
+    Telemetry.span ~ledger "bfs-tree" (fun () -> fst (Bfs.tree g ~root:0))
+  in
   let l_total = Mst_seq.weight g in
   let w_min = Graph.fold_edges g (fun _ e acc -> Float.min acc e.Graph.w) infinity in
   let chosen = Hashtbl.create (4 * n) in
@@ -99,10 +102,12 @@ let build ~rng g ~epsilon =
     let net = Net.build ~rng g ~bfs ~radius ~delta:0.5 in
     Ledger.merge ledger ~prefix:"net" net.Net.ledger;
     (* 2Δ-bounded multi-source exploration from the net points. *)
-    let tables, st_ms =
-      Bellman_ford.multi_source ~bound:(2.0 *. big_delta) g ~srcs:net.Net.points
+    let tables =
+      Telemetry.span ~ledger "bounded-msasp" (fun () ->
+          fst
+            (Bellman_ford.multi_source ~bound:(2.0 *. big_delta) g
+               ~srcs:net.Net.points))
     in
-    Ledger.native ledger ~label:"bounded-msasp" st_ms.Engine.rounds;
     Array.iter
       (fun tbl -> if Hashtbl.length tbl > !max_table then max_table := Hashtbl.length tbl)
       tables;
@@ -118,8 +123,8 @@ let build ~rng g ~epsilon =
           tables.(v) []
       else []
     in
-    let _, st_rep = report_paths g tables ~pairs ~mark in
-    Ledger.native ledger ~label:"path-report" st_rep.Engine.rounds;
+    Telemetry.span ~ledger "path-report" (fun () ->
+        ignore (report_paths g tables ~pairs ~mark));
     delta_scale := big_delta *. (1.0 +. epsilon)
   done;
   let edges = List.sort Int.compare (Hashtbl.fold (fun e () acc -> e :: acc) chosen []) in

@@ -1,5 +1,6 @@
 module Graph = Ln_graph.Graph
 module Ledger = Ln_congest.Ledger
+module Telemetry = Ln_congest.Telemetry
 module Net = Ln_nets.Net
 
 type t = {
@@ -13,6 +14,7 @@ type t = {
 
 let estimate ~rng g ~bfs ~alpha =
   if alpha < 1.0 then invalid_arg "Mst_weight.estimate: alpha must be >= 1";
+  Telemetry.span "mst-weight" @@ fun () ->
   let ledger = Ledger.create () in
   let w_min = Graph.fold_edges g (fun _ e acc -> Float.min acc e.Graph.w) infinity in
   (* Start low enough that the first net is all of V (covering radius

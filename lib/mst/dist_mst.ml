@@ -3,6 +3,7 @@ module Tree = Ln_graph.Tree
 module Union_find = Ln_graph.Union_find
 module Engine = Ln_congest.Engine
 module Ledger = Ln_congest.Ledger
+module Telemetry = Ln_congest.Telemetry
 module Bfs = Ln_prim.Bfs
 module Exchange = Ln_prim.Exchange
 module Keyed = Ln_prim.Keyed
@@ -23,13 +24,13 @@ let better (w1, e1, _) (w2, e2, _) = w1 < w2 || (w1 = w2 && e1 < e2)
 
 let run ?(root = 0) ?diam_cap g =
   if not (Graph.is_connected g) then invalid_arg "Dist_mst.run: disconnected";
+  Telemetry.span "dist-mst" @@ fun () ->
   let n = Graph.n g in
   let ledger = Ledger.create () in
   (* Attribute all engine work below (BFS, exchanges, aggregations) to
      this ledger so experiments can report simulator throughput. *)
   let engine_before = Engine.snapshot_totals () in
-  let bfs, bfs_stats = Bfs.tree g ~root in
-  Ledger.native ledger ~label:"bfs-tree" bfs_stats.Engine.rounds;
+  let bfs = Telemetry.span ~ledger "bfs-tree" (fun () -> fst (Bfs.tree g ~root)) in
   let sqrt_n = int_of_float (Float.ceil (Float.sqrt (float_of_int n))) in
   let diam_cap = match diam_cap with Some c -> c | None -> (2 * sqrt_n) + 2 in
   let base, phases = Boruvka.base_fragments g ~target:sqrt_n ~diam_cap in
@@ -47,8 +48,10 @@ let run ?(root = 0) ?diam_cap g =
   let external_edges = ref [] in
   let live = ref nkeys in
   while !live > 1 do
-    let nbr_tables, ex_stats = Exchange.ints g cur in
-    Ledger.native ledger ~label:"phase2/frag-exchange" ex_stats.Engine.rounds;
+    let nbr_tables =
+      Telemetry.span ~ledger "phase2/frag-exchange" (fun () ->
+          fst (Exchange.ints g cur))
+    in
     let local v =
       let best = ref None in
       List.iter
@@ -62,8 +65,10 @@ let run ?(root = 0) ?diam_cap g =
         nbr_tables.(v);
       match !best with Some c -> [ (cur.(v), c) ] | None -> []
     in
-    let table, agg_stats = Keyed.global_best ~value_words:3 g ~tree:bfs ~nkeys ~local ~better in
-    Ledger.native ledger ~label:"phase2/mwoe-aggregate" agg_stats.Engine.rounds;
+    let table =
+      Telemetry.span ~ledger "phase2/mwoe-aggregate" (fun () ->
+          fst (Keyed.global_best ~value_words:3 g ~tree:bfs ~nkeys ~local ~better))
+    in
     (* Deterministic local merge step — identical at every vertex since
        the table was broadcast; computed once here. *)
     let uf = Union_find.create nkeys in
@@ -149,10 +154,10 @@ let root_at t ~rt =
   done;
   (* Native parallel flood inside every fragment from its root. *)
   let is_root v = frag_root.(base.Fragments.frag_of.(v)) = v in
-  let parent_edge_internal, orient_stats =
-    Forest.orient g ~tree_edges:base.Fragments.tree_edges ~is_root
+  let parent_edge_internal =
+    Telemetry.span ~ledger:t.ledger "root-orient" (fun () ->
+        fst (Forest.orient g ~tree_edges:base.Fragments.tree_edges ~is_root))
   in
-  Ledger.native t.ledger ~label:"root-orient" orient_stats.Engine.rounds;
   let parent_edge =
     Array.mapi
       (fun v pe ->

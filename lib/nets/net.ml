@@ -2,6 +2,7 @@ module Graph = Ln_graph.Graph
 module Metric = Ln_graph.Metric
 module Ledger = Ln_congest.Ledger
 module Engine = Ln_congest.Engine
+module Telemetry = Ln_congest.Telemetry
 module Bellman_ford = Ln_aspt.Bellman_ford
 
 type t = {
@@ -37,6 +38,7 @@ let le_list_charge g ~bfs =
 let build ~rng g ~bfs ~radius ~delta =
   if radius <= 0.0 then invalid_arg "Net.build: radius must be positive";
   if delta < 0.0 then invalid_arg "Net.build: delta must be nonnegative";
+  Telemetry.span "net" @@ fun () ->
   let n = Graph.n g in
   let ledger = Ledger.create () in
   let active = Array.make n true in
@@ -71,8 +73,10 @@ let build ~rng g ~bfs ~radius ~delta =
       (* Deactivation: native bounded multi-source shortest paths from
          the new net points (the approximate-SPT step). *)
       let bound = (1.0 +. delta) *. radius in
-      let tables, st = Bellman_ford.multi_source ~bound g ~srcs:joiners in
-      Ledger.native ledger ~label:"net/deactivation-aspt" st.Engine.rounds;
+      let tables =
+        Telemetry.span ~ledger "net/deactivation-aspt" (fun () ->
+            fst (Bellman_ford.multi_source ~bound g ~srcs:joiners))
+      in
       for v = 0 to n - 1 do
         if active.(v) && Hashtbl.length tables.(v) > 0 then active.(v) <- false
       done)

@@ -2,6 +2,7 @@ module Graph = Ln_graph.Graph
 module Tree = Ln_graph.Tree
 module Engine = Ln_congest.Engine
 module Ledger = Ln_congest.Ledger
+module Telemetry = Ln_congest.Telemetry
 module Broadcast = Ln_prim.Broadcast
 module Forest = Ln_prim.Forest
 module Tree_frags = Ln_prim.Tree_frags
@@ -68,8 +69,10 @@ let bp1_scan g (tt : Tour_table.t) ~alpha ~epsilon ~trt_dist ledger =
           (!bps, outs, false));
     }
   in
-  let states, stats = Engine.run g program in
-  Ledger.native ledger ~label:"slt/bp1-token-scan" stats.Engine.rounds;
+  let states =
+    Telemetry.span ~ledger "slt/bp1-token-scan" (fun () ->
+        fst (Engine.run g program))
+  in
   let acc = ref [] in
   Array.iter (fun bps -> acc := bps @ !acc) states;
   !acc
@@ -86,8 +89,10 @@ let bp2_filter ~sparsify g (tt : Tour_table.t) ~alpha ~epsilon ~trt_dist ~bfs le
       items.(v) <- (j, tt.Tour_table.time_of.(j), trt_dist.(v)) :: items.(v)
     end
   done;
-  let gathered, st = Broadcast.gather ~words:(fun _ -> 4) g ~tree:bfs ~items in
-  Ledger.native ledger ~label:"slt/bp2-gather" st.Engine.rounds;
+  let gathered =
+    Telemetry.span ~ledger "slt/bp2-gather" (fun () ->
+        fst (Broadcast.gather ~words:(fun _ -> 4) g ~tree:bfs ~items))
+  in
   let anchors =
     List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) gathered.(Tree.root bfs)
   in
@@ -106,8 +111,8 @@ let bp2_filter ~sparsify g (tt : Tour_table.t) ~alpha ~epsilon ~trt_dist ~bfs le
       end)
     anchors;
   let chosen = List.rev !chosen in
-  let _, st2 = Broadcast.downcast ~words:(fun _ -> 1) g ~tree:bfs ~items:chosen in
-  Ledger.native ledger ~label:"slt/bp2-broadcast" st2.Engine.rounds;
+  Telemetry.span ~ledger "slt/bp2-broadcast" (fun () ->
+      ignore (Broadcast.downcast ~words:(fun _ -> 1) g ~tree:bfs ~items:chosen));
   chosen
 
 (* ------------------------------------------------------------------ *)
@@ -123,13 +128,16 @@ let abp_marking g ~(spt : Hub_sssp.t) ~is_bp ~bfs ledger =
   (* Stand-in for the KP98-phase-1 fragment formation on T_rt. *)
   Ledger.charged ledger ~label:"slt/trt-fragments" ((3 * sqrt_n) + 8);
   (* Each fragment learns whether it contains a break point. *)
-  let frag_bp, _, st1 =
-    Forest.up g ~parent_edge:frags.Tree_frags.internal_parent
-      ~tree_edges:frags.Tree_frags.tree_edges
-      ~compute:(fun v kids -> is_bp v || List.exists snd kids)
-      ~words:(fun _ -> 1)
+  let frag_bp =
+    Telemetry.span ~ledger "slt/abp-local-up" (fun () ->
+        let frag_bp, _, _ =
+          Forest.up g ~parent_edge:frags.Tree_frags.internal_parent
+            ~tree_edges:frags.Tree_frags.tree_edges
+            ~compute:(fun v kids -> is_bp v || List.exists snd kids)
+            ~words:(fun _ -> 1)
+        in
+        frag_bp)
   in
-  Ledger.native ledger ~label:"slt/abp-local-up" st1.Engine.rounds;
   (* Gather per-fragment bits; the hub computes the subtree ORs on T'
      and broadcasts them. *)
   let items = Array.make n [] in
@@ -137,8 +145,10 @@ let abp_marking g ~(spt : Hub_sssp.t) ~is_bp ~bfs ledger =
     let r = frags.Tree_frags.root_of.(f) in
     items.(r) <- (f, frag_bp.(r)) :: items.(r)
   done;
-  let gathered, st2 = Broadcast.gather ~words:(fun _ -> 2) g ~tree:bfs ~items in
-  Ledger.native ledger ~label:"slt/abp-gather" st2.Engine.rounds;
+  let gathered =
+    Telemetry.span ~ledger "slt/abp-gather" (fun () ->
+        fst (Broadcast.gather ~words:(fun _ -> 2) g ~tree:bfs ~items))
+  in
   let has_bp = Array.make frags.Tree_frags.count false in
   List.iter (fun (f, b) -> if b then has_bp.(f) <- true) gathered.(Tree.root bfs);
   let children_of = Array.make frags.Tree_frags.count [] in
@@ -156,22 +166,22 @@ let abp_marking g ~(spt : Hub_sssp.t) ~is_bp ~bfs ledger =
     if frags.Tree_frags.parent_frag.(f) < 0 then ignore (fill f)
   done;
   let sub_list = Array.to_list (Array.mapi (fun f b -> (f, b)) sub_bp) in
-  let _, st3 = Broadcast.downcast ~words:(fun _ -> 2) g ~tree:bfs ~items:sub_list in
-  Ledger.native ledger ~label:"slt/abp-broadcast" st3.Engine.rounds;
+  Telemetry.span ~ledger "slt/abp-broadcast" (fun () ->
+      ignore (Broadcast.downcast ~words:(fun _ -> 2) g ~tree:bfs ~items:sub_list));
   (* Final fragment-local pass: ABP(v) = BP below v in T_rt. *)
-  let abp, _, st4 =
-    Forest.up g ~parent_edge:frags.Tree_frags.internal_parent
-      ~tree_edges:frags.Tree_frags.tree_edges
-      ~compute:(fun v kids ->
-        is_bp v
-        || List.exists snd kids
-        || List.exists
-             (fun (z, _) -> sub_bp.(frags.Tree_frags.frag_of.(z)))
-             frags.Tree_frags.ext_children.(v))
-      ~words:(fun _ -> 1)
-  in
-  Ledger.native ledger ~label:"slt/abp-final-up" st4.Engine.rounds;
-  abp
+  Telemetry.span ~ledger "slt/abp-final-up" (fun () ->
+      let abp, _, _ =
+        Forest.up g ~parent_edge:frags.Tree_frags.internal_parent
+          ~tree_edges:frags.Tree_frags.tree_edges
+          ~compute:(fun v kids ->
+            is_bp v
+            || List.exists snd kids
+            || List.exists
+                 (fun (z, _) -> sub_bp.(frags.Tree_frags.frag_of.(z)))
+                 frags.Tree_frags.ext_children.(v))
+          ~words:(fun _ -> 1)
+      in
+      abp)
 
 (* ------------------------------------------------------------------ *)
 (* The base construction for ε ∈ (0, 1].                               *)
@@ -179,11 +189,15 @@ let abp_marking g ~(spt : Hub_sssp.t) ~is_bp ~bfs ledger =
 let build ?(sparsify_anchors = true) ~rng g ~rt ~epsilon =
   if not (epsilon > 0.0 && epsilon <= 1.0) then
     invalid_arg "Slt.build: epsilon must be in (0, 1]";
+  Telemetry.span "slt" @@ fun () ->
   let n = Graph.n g in
   let ledger = Ledger.create () in
   (* MST, Euler tour, and the (approximate) SPT T_rt. *)
-  let dist = Dist_mst.run ~root:rt g in
-  let tour = Euler_dist.run dist ~rt in
+  let dist, tour =
+    Telemetry.span "mst+euler" (fun () ->
+        let dist = Dist_mst.run ~root:rt g in
+        (dist, Euler_dist.run dist ~rt))
+  in
   Ledger.merge ledger ~prefix:"mst+euler" dist.Dist_mst.ledger;
   let bfs = dist.Dist_mst.bfs in
   let spt = Hub_sssp.run ~rng g ~bfs ~src:rt in

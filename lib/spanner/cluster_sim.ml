@@ -2,6 +2,7 @@ module Graph = Ln_graph.Graph
 module Tree = Ln_graph.Tree
 module Engine = Ln_congest.Engine
 module Ledger = Ln_congest.Ledger
+module Telemetry = Ln_congest.Telemetry
 module Broadcast = Ln_prim.Broadcast
 module Keyed = Ln_prim.Keyed
 module Exchange = Ln_prim.Exchange
@@ -31,11 +32,13 @@ let case1 ?r ~rng g ~bfs ~k ~nclusters ~cluster_of ~in_bucket ledger =
     |> List.filter (fun c -> occupied.(c))
     |> List.map (fun c -> (c, r.(c)))
   in
-  let _, st_r = Broadcast.downcast ~words:(fun _ -> 3) g ~tree:bfs ~items:r_items in
-  Ledger.native ledger ~label:"case1/r-broadcast" st_r.Engine.rounds;
+  Telemetry.span ~ledger "case1/r-broadcast" (fun () ->
+      ignore (Broadcast.downcast ~words:(fun _ -> 3) g ~tree:bfs ~items:r_items));
   (* Every vertex learns its neighbours' clusters, once. *)
-  let nbr_cluster, st_x = Exchange.ints g cluster_of in
-  Ledger.native ledger ~label:"case1/cluster-exchange" st_x.Engine.rounds;
+  let nbr_cluster =
+    Telemetry.span ~ledger "case1/cluster-exchange" (fun () ->
+        fst (Exchange.ints g cluster_of))
+  in
   (* Global EN17b state, known to all vertices after each round. *)
   let m = Array.make nclusters neg_infinity in
   let s = Array.make nclusters (-1) in
@@ -60,11 +63,12 @@ let case1 ?r ~rng g ~bfs ~k ~nclusters ~cluster_of ~in_bucket ledger =
         nbr_cluster.(v);
       match !best with Some c -> [ (a, c) ] | None -> []
     in
-    let table, st =
-      Keyed.global_best ~value_words:3 g ~tree:bfs ~nkeys:nclusters ~local
-        ~better:better_ms
+    let table =
+      Telemetry.span ~ledger "case1/round-aggregate" (fun () ->
+          fst
+            (Keyed.global_best ~value_words:3 g ~tree:bfs ~nkeys:nclusters
+               ~local ~better:better_ms))
     in
-    Ledger.native ledger ~label:"case1/round-aggregate" st.Engine.rounds;
     Array.iteri
       (fun a cand ->
         match cand with
@@ -93,11 +97,12 @@ let case1 ?r ~rng g ~bfs ~k ~nclusters ~cluster_of ~in_bucket ledger =
       nbr_cluster.(v);
     Hashtbl.fold (fun y cand acc -> ((a * nclusters) + y, cand) :: acc) per_source []
   in
-  let table, st =
-    Keyed.global_best ~value_words:4 g ~tree:bfs ~nkeys:(nclusters * nclusters) ~local
-      ~better:rep_better
+  let table =
+    Telemetry.span ~ledger "case1/edge-select" (fun () ->
+        fst
+          (Keyed.global_best ~value_words:4 g ~tree:bfs
+             ~nkeys:(nclusters * nclusters) ~local ~better:rep_better))
   in
-  Ledger.native ledger ~label:"case1/edge-select" st.Engine.rounds;
   let chosen = ref [] in
   Array.iter
     (function Some (_, _, e) -> chosen := e :: !chosen | None -> ())
@@ -142,10 +147,10 @@ let case2 ?r ~rng g ~tt ~k ~centers ~cluster_of ~chosen_pos ~in_bucket ledger =
   for _round = 1 to k do
     (* Neighbours tell each other their cluster's (cluster, m, s). *)
     let payload = Array.init n (fun v -> (cluster_of.(v), my_m.(v), my_s.(v))) in
-    let tables, st_x =
-      Exchange.payloads ~edge_ok:in_bucket ~words:(fun _ -> 3) g payload
+    let tables =
+      Telemetry.span ~ledger "case2/nbr-exchange" (fun () ->
+          fst (Exchange.payloads ~edge_ok:in_bucket ~words:(fun _ -> 3) g payload))
     in
-    Ledger.native ledger ~label:"case2/nbr-exchange" st_x.Engine.rounds;
     (* Each member's local candidate, attached at its chosen position;
        interval aggregation computes the cluster-wide max. *)
     let cand = Array.make n None in
@@ -165,12 +170,13 @@ let case2 ?r ~rng g ~tt ~k ~centers ~cluster_of ~chosen_pos ~in_bucket ledger =
     for v = 0 to n - 1 do
       pos_value.(chosen_pos.(v)) <- cand.(v)
     done;
-    let agg, st_a =
-      Intervals.aggregate ~value_words:3 g ~tt ~is_center
-        ~value:(fun j -> pos_value.(j))
-        ~combine:(fun a b -> if better_ms a b then a else b)
+    let agg =
+      Telemetry.span ~ledger "case2/interval-aggregate" (fun () ->
+          fst
+            (Intervals.aggregate ~value_words:3 g ~tt ~is_center
+               ~value:(fun j -> pos_value.(j))
+               ~combine:(fun a b -> if better_ms a b then a else b)))
     in
-    Ledger.native ledger ~label:"case2/interval-aggregate" st_a.Engine.rounds;
     for v = 0 to n - 1 do
       match agg.(chosen_pos.(v)) with
       | Some ((cm, cs) as c) ->
@@ -184,10 +190,10 @@ let case2 ?r ~rng g ~tt ~k ~centers ~cluster_of ~chosen_pos ~in_bucket ledger =
   (* Edge selection: members push qualifying candidates to their
      centers, which deduplicate per source. *)
   let payload = Array.init n (fun v -> (cluster_of.(v), my_m.(v), my_s.(v))) in
-  let tables, st_x =
-    Exchange.payloads ~edge_ok:in_bucket ~words:(fun _ -> 3) g payload
+  let tables =
+    Telemetry.span ~ledger "case2/final-exchange" (fun () ->
+        fst (Exchange.payloads ~edge_ok:in_bucket ~words:(fun _ -> 3) g payload))
   in
-  Ledger.native ledger ~label:"case2/final-exchange" st_x.Engine.rounds;
   let cands = Array.make n [] in
   for v = 0 to n - 1 do
     let a = cluster_of.(v) in
@@ -207,10 +213,12 @@ let case2 ?r ~rng g ~tt ~k ~centers ~cluster_of ~chosen_pos ~in_bucket ledger =
   for v = 0 to n - 1 do
     pos_items.(chosen_pos.(v)) <- cands.(v)
   done;
-  let collected, st_g =
-    Intervals.gather ~value_words:4 g ~tt ~is_center ~items:(fun j -> pos_items.(j))
+  let collected =
+    Telemetry.span ~ledger "case2/edge-gather" (fun () ->
+        fst
+          (Intervals.gather ~value_words:4 g ~tt ~is_center
+             ~items:(fun j -> pos_items.(j))))
   in
-  Ledger.native ledger ~label:"case2/edge-gather" st_g.Engine.rounds;
   let chosen = ref [] in
   Array.iteri
     (fun j items ->

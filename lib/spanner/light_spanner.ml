@@ -1,5 +1,6 @@
 module Graph = Ln_graph.Graph
 module Ledger = Ln_congest.Ledger
+module Telemetry = Ln_congest.Telemetry
 module Dist_mst = Ln_mst.Dist_mst
 module Euler_dist = Ln_traversal.Euler_dist
 module Tour_table = Ln_traversal.Tour_table
@@ -20,13 +21,17 @@ let build ~rng g ~k ~epsilon =
   if k < 1 then invalid_arg "Light_spanner.build: k must be >= 1";
   if not (epsilon > 0.0 && epsilon < 1.0) then
     invalid_arg "Light_spanner.build: epsilon must be in (0, 1)";
+  Telemetry.span "light-spanner" @@ fun () ->
   let n = Graph.n g in
   let ledger = Ledger.create () in
   (* MST + Euler tour; every vertex learns its tour appearances, and L
      is globally known (an O(D) convergecast in the paper; here it is
      the tour total). *)
-  let dist = Dist_mst.run g in
-  let tour = Euler_dist.run dist ~rt:0 in
+  let dist, tour =
+    Telemetry.span "mst+euler" (fun () ->
+        let dist = Dist_mst.run g in
+        (dist, Euler_dist.run dist ~rt:0))
+  in
   Ledger.merge ledger ~prefix:"mst+euler" dist.Dist_mst.ledger;
   let bfs = dist.Dist_mst.bfs in
   let tt = Tour_table.make g tour in
@@ -37,8 +42,12 @@ let build ~rng g ~k ~epsilon =
   (* Light bucket E': Baswana-Sen. *)
   let classify = Buckets.classify ~l_total ~epsilon ~n in
   let bucket_of = Array.init (Graph.m g) (fun e -> classify (Graph.weight g e)) in
+  (* Baswana-Sen sums its own engine runs into [bs.rounds]; the span
+     measures the same work, so keep the manual ledger entry and wrap
+     with a plain (no-ledger) span to avoid double counting. *)
   let bs =
-    Baswana_sen.build ~edge_ok:(fun e -> bucket_of.(e) = `Light) ~rng ~k g
+    Telemetry.span "baswana-sen(E')" (fun () ->
+        Baswana_sen.build ~edge_ok:(fun e -> bucket_of.(e) = `Light) ~rng ~k g)
   in
   Ledger.native ledger ~label:"baswana-sen(E')" bs.Baswana_sen.rounds;
   List.iter keep bs.Baswana_sen.edges;
@@ -58,11 +67,14 @@ let build ~rng g ~k ~epsilon =
         match Buckets.assign g ~tt ~l_total ~epsilon ~k ~i with
         | Buckets.Global { nclusters; cluster_of } ->
           incr case1;
-          Cluster_sim.case1 ~rng g ~bfs ~k ~nclusters ~cluster_of ~in_bucket ledger
+          Telemetry.span (Printf.sprintf "bucket-%d/case1" i) (fun () ->
+              Cluster_sim.case1 ~rng g ~bfs ~k ~nclusters ~cluster_of ~in_bucket
+                ledger)
         | Buckets.Interval { centers; cluster_of; chosen_pos; max_interval = _ } ->
           incr case2;
-          Cluster_sim.case2 ~rng g ~tt ~k ~centers ~cluster_of ~chosen_pos ~in_bucket
-            ledger
+          Telemetry.span (Printf.sprintf "bucket-%d/case2" i) (fun () ->
+              Cluster_sim.case2 ~rng g ~tt ~k ~centers ~cluster_of ~chosen_pos
+                ~in_bucket ledger)
       in
       List.iter
         (fun e ->

@@ -1,6 +1,7 @@
 module Graph = Ln_graph.Graph
 module Engine = Ln_congest.Engine
 module Ledger = Ln_congest.Ledger
+module Telemetry = Ln_congest.Telemetry
 module Broadcast = Ln_prim.Broadcast
 module Forest = Ln_prim.Forest
 module Fragments = Ln_mst.Fragments
@@ -51,13 +52,17 @@ let pass (dist : Dist_mst.t) (rooted : Dist_mst.rooted) ~rt ~len ledger ~label =
   in
   (* Pass values tagged with the edge they travelled over so the parent
      knows the connecting weight: child sends (value, its parent edge). *)
-  let ell, _, st_a =
-    Forest.up g ~parent_edge:internal_parent ~tree_edges:base.Fragments.tree_edges
-      ~compute:(fun v kids ->
-        let total = sum_children kids 0.0 in
-        (total, internal_parent.(v)))
+  let ell =
+    Telemetry.span ~ledger (label ^ "/local-lengths") (fun () ->
+        let ell, _, _ =
+          Forest.up g ~parent_edge:internal_parent
+            ~tree_edges:base.Fragments.tree_edges
+            ~compute:(fun v kids ->
+              let total = sum_children kids 0.0 in
+              (total, internal_parent.(v)))
+        in
+        ell)
   in
-  Ledger.native ledger ~label:(label ^ "/local-lengths") st_a.Engine.rounds;
   let ell = Array.map fst ell in
   (* Step B: broadcast the fragment roots' ℓ values (Lemma 1). *)
   let items =
@@ -67,8 +72,10 @@ let pass (dist : Dist_mst.t) (rooted : Dist_mst.rooted) ~rt ~len ledger ~label =
     let r = rooted.Dist_mst.frag_root.(f) in
     items.(r) <- (f, ell.(r)) :: items.(r)
   done;
-  let all, st_b = Broadcast.all_to_all ~words:(fun _ -> 2) g ~tree:dist.Dist_mst.bfs ~items in
-  Ledger.native ledger ~label:(label ^ "/ell-broadcast") st_b.Engine.rounds;
+  let all =
+    Telemetry.span ~ledger (label ^ "/ell-broadcast") (fun () ->
+        fst (Broadcast.all_to_all ~words:(fun _ -> 2) g ~tree:dist.Dist_mst.bfs ~items))
+  in
   let ell_root = Array.make count 0.0 in
   List.iter (fun (f, l) -> ell_root.(f) <- l) all.(rt);
   (* Step C: global lengths of fragment roots, locally from T'. *)
@@ -99,12 +106,16 @@ let pass (dist : Dist_mst.t) (rooted : Dist_mst.rooted) ~rt ~len ledger ~label =
       (fun acc (z, e) -> acc +. g_root.(frag_of.(z)) +. (2.0 *. len e))
       0.0 ext_children.(v)
   in
-  let g_pairs, g_kids, st_d =
-    Forest.up g ~parent_edge:internal_parent ~tree_edges:base.Fragments.tree_edges
-      ~compute:(fun v kids ->
-        (sum_children kids (ext_contribution v), internal_parent.(v)))
+  let g_pairs, g_kids =
+    Telemetry.span ~ledger (label ^ "/global-lengths") (fun () ->
+        let g_pairs, g_kids, _ =
+          Forest.up g ~parent_edge:internal_parent
+            ~tree_edges:base.Fragments.tree_edges
+            ~compute:(fun v kids ->
+              (sum_children kids (ext_contribution v), internal_parent.(v)))
+        in
+        (g_pairs, g_kids))
   in
-  Ledger.native ledger ~label:(label ^ "/global-lengths") st_d.Engine.rounds;
   let g_value = Array.map fst g_pairs in
   (* Every vertex's ordered T-children with (child, edge, g(child)). *)
   let ordered_children =
@@ -125,12 +136,14 @@ let pass (dist : Dist_mst.t) (rooted : Dist_mst.rooted) ~rt ~len ledger ~label =
     scan 0.0 ordered_children.(v)
   in
   (* Step E: local DFS entry offsets within each fragment. *)
-  let local_start, st_e =
-    Forest.down g ~parent_edge:internal_parent ~tree_edges:base.Fragments.tree_edges
-      ~seed:(fun v -> if internal_parent.(v) = -1 then Some 0.0 else None)
-      ~emit:(fun v a child -> a +. child_offset v child)
+  let local_start =
+    Telemetry.span ~ledger (label ^ "/intervals-down") (fun () ->
+        fst
+          (Forest.down g ~parent_edge:internal_parent
+             ~tree_edges:base.Fragments.tree_edges
+             ~seed:(fun v -> if internal_parent.(v) = -1 then Some 0.0 else None)
+             ~emit:(fun v a child -> a +. child_offset v child)))
   in
-  Ledger.native ledger ~label:(label ^ "/intervals-down") st_e.Engine.rounds;
   let local_start = Array.map (function Some a -> a | None -> 0.0) local_start in
   (* One native round across external edges: each parent endpoint tells
      the child fragment's root its offset within the parent fragment. *)
@@ -155,8 +168,10 @@ let pass (dist : Dist_mst.t) (rooted : Dist_mst.rooted) ~rt ~len ledger ~label =
           | [] -> (s, [], false));
     }
   in
-  let ext_offsets, st_x = Engine.run g ext_offset_program in
-  Ledger.native ledger ~label:(label ^ "/ext-offsets") st_x.Engine.rounds;
+  let ext_offsets =
+    Telemetry.span ~ledger (label ^ "/ext-offsets") (fun () ->
+        fst (Engine.run g ext_offset_program))
+  in
   (* Step F: gather per-fragment offsets at rt, prefix-combine along
      T', broadcast the shifts. *)
   let gather_items = Array.make n [] in
@@ -167,8 +182,12 @@ let pass (dist : Dist_mst.t) (rooted : Dist_mst.rooted) ~rt ~len ledger ~label =
       gather_items.(r) <- (f, b) :: gather_items.(r)
     end
   done;
-  let gathered, st_f = Broadcast.gather ~words:(fun _ -> 2) g ~tree:dist.Dist_mst.bfs ~items:gather_items in
-  Ledger.native ledger ~label:(label ^ "/offsets-gather") st_f.Engine.rounds;
+  let gathered =
+    Telemetry.span ~ledger (label ^ "/offsets-gather") (fun () ->
+        fst
+          (Broadcast.gather ~words:(fun _ -> 2) g ~tree:dist.Dist_mst.bfs
+             ~items:gather_items))
+  in
   (* The shift combination is performed at the BFS-tree root (the hub
      all global communication is pipelined through). *)
   let hub = Ln_graph.Tree.root dist.Dist_mst.bfs in
@@ -188,15 +207,16 @@ let pass (dist : Dist_mst.t) (rooted : Dist_mst.rooted) ~rt ~len ledger ~label =
     compute_shift f
   done;
   let shifts_list = Array.to_list (Array.mapi (fun f s -> (f, s)) shift) in
-  let _, st_g =
-    Broadcast.downcast ~words:(fun _ -> 2) g ~tree:dist.Dist_mst.bfs ~items:shifts_list
-  in
-  Ledger.native ledger ~label:(label ^ "/shifts-broadcast") st_g.Engine.rounds;
+  Telemetry.span ~ledger (label ^ "/shifts-broadcast") (fun () ->
+      ignore
+        (Broadcast.downcast ~words:(fun _ -> 2) g ~tree:dist.Dist_mst.bfs
+           ~items:shifts_list));
   (* Global entry times. *)
   let entry = Array.init n (fun v -> shift.(frag_of.(v)) +. local_start.(v)) in
   (entry, g_value, ordered_children)
 
 let run dist ~rt =
+  Telemetry.span "euler-tour" @@ fun () ->
   let g = dist.Dist_mst.graph in
   let n = Graph.n g in
   let ledger = dist.Dist_mst.ledger in

@@ -1,0 +1,298 @@
+(* Telemetry layer tests: rate-guard contracts, deterministic link
+   ordering, span/ledger equivalence, per-round sample consistency,
+   export round-trips, and the headline differential property — the
+   full telemetry event stream (spans, round samples, link totals)
+   must be byte-identical between the fast and reference engine
+   backends, with and without an ambient fault plan. *)
+
+module Graph = Ln_graph.Graph
+module Gen = Ln_graph.Gen
+module Engine = Ln_congest.Engine
+module Fault = Ln_congest.Fault
+module Ledger = Ln_congest.Ledger
+module Trace = Ln_congest.Trace
+module Telemetry = Ln_congest.Telemetry
+module Bfs = Ln_prim.Bfs
+module Light_spanner = Ln_spanner.Light_spanner
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: rate helpers never emit inf/nan.                         *)
+
+let finite_nonneg name x =
+  Alcotest.(check bool) (name ^ " finite") true (Float.is_finite x);
+  Alcotest.(check bool) (name ^ " >= 0") true (x >= 0.0)
+
+let test_rate_guards () =
+  let p = Engine.create_perf () in
+  (* All-zero perf: every denominator is zero. *)
+  Alcotest.(check (float 0.0)) "rounds/s of empty" 0.0 (Engine.rounds_per_sec p);
+  Alcotest.(check (float 0.0)) "msgs/s of empty" 0.0 (Engine.messages_per_sec p);
+  Alcotest.(check (float 0.0)) "skip ratio of empty" 0.0 (Engine.skip_ratio p);
+  (* Work recorded but the clock never advanced (sub-resolution smoke
+     runs): still 0.0, never inf. *)
+  p.Engine.rounds <- 1234;
+  p.Engine.messages <- 99999;
+  p.Engine.skipped <- 10;
+  Alcotest.(check (float 0.0)) "rounds/s at wall=0" 0.0 (Engine.rounds_per_sec p);
+  Alcotest.(check (float 0.0)) "msgs/s at wall=0" 0.0 (Engine.messages_per_sec p);
+  finite_nonneg "skip ratio (steps=0, skipped>0)" (Engine.skip_ratio p);
+  Alcotest.(check (float 1e-9)) "skip ratio all-skipped" 1.0 (Engine.skip_ratio p);
+  (* Negative wall must not sneak through as a negative rate. *)
+  p.Engine.wall <- -1.0;
+  Alcotest.(check (float 0.0)) "rounds/s at wall<0" 0.0 (Engine.rounds_per_sec p);
+  (* A real run produces finite, non-negative rates. *)
+  let g = Gen.path 32 in
+  let perf = Engine.create_perf () in
+  let _ = Engine.run_fast ~perf g (Bfs.relaxing_program ~root:0) in
+  finite_nonneg "rounds/s of real run" (Engine.rounds_per_sec perf);
+  finite_nonneg "msgs/s of real run" (Engine.messages_per_sec perf);
+  finite_nonneg "skip ratio of real run" (Engine.skip_ratio perf)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: link_load ordering is fully deterministic under ties.    *)
+
+let test_link_load_ties () =
+  let tr = Trace.create () in
+  let obs = Trace.observer tr in
+  (* 40 distinct links, every one carrying exactly one message, fed in
+     a scrambled order: the sort sees nothing but ties. *)
+  (* Built high-to-low so the insertion order is far from the sorted
+     order the contract promises. *)
+  let links = ref [] in
+  for from = 0 to 7 do
+    for dest = 0 to 4 do
+      if from <> dest then links := (from, dest) :: !links
+    done
+  done;
+  List.iter (fun (from, dest) -> obs ~round:1 ~from ~dest ~words:1) !links;
+  let loads = Trace.link_load tr in
+  let expected = List.sort compare (List.map (fun l -> (l, 1)) !links) in
+  Alcotest.(check bool) "all-ties ordered by (from, dest)" true (loads = expected);
+  (* Mixed loads: primary key stays the load, descending. *)
+  obs ~round:2 ~from:3 ~dest:1 ~words:1;
+  obs ~round:2 ~from:3 ~dest:1 ~words:1;
+  obs ~round:2 ~from:0 ~dest:4 ~words:1;
+  let loads = Trace.link_load tr in
+  (match loads with
+  | ((3, 1), 3) :: ((0, 4), 2) :: rest ->
+    let expected_rest =
+      List.sort compare
+        (List.filter (fun l -> l <> (3, 1) && l <> (0, 4)) !links)
+      |> List.map (fun l -> (l, 1))
+    in
+    Alcotest.(check bool) "tail still tie-sorted" true (rest = expected_rest)
+  | _ -> Alcotest.fail "busiest links not first")
+
+(* ------------------------------------------------------------------ *)
+(* Spans: measurement matches the engine totals; ledger auto-entry.    *)
+
+let test_span_ledger () =
+  let g = Gen.path 24 in
+  let ledger = Ledger.create () in
+  let before = Engine.snapshot_totals () in
+  let _ = Telemetry.span ~ledger "bfs" (fun () -> Bfs.tree g ~root:0) in
+  let d = Engine.totals_since before in
+  Alcotest.(check int) "ledger native total = measured rounds"
+    d.Engine.rounds (Ledger.native_total ledger);
+  Alcotest.(check bool) "a path BFS takes >= diameter rounds" true
+    (d.Engine.rounds >= 23);
+  (* A span whose body raises closes cleanly but records nothing. *)
+  let l2 = Ledger.create () in
+  (try Telemetry.span ~ledger:l2 "boom" (fun () -> raise Exit)
+   with Exit -> ());
+  Alcotest.(check int) "no ledger entry on exception" 0 (Ledger.native_total l2)
+
+(* ------------------------------------------------------------------ *)
+(* Round samples: deltas add back up to the run's stats.               *)
+
+let test_round_samples () =
+  let g = Gen.path 40 in
+  let stats = ref None in
+  let (), tr =
+    Telemetry.record (fun () ->
+        let _, st = Bfs.tree g ~root:0 in
+        stats := Some st)
+  in
+  let st = Option.get !stats in
+  let msg_sum = ref 0 and word_sum = ref 0 and step_sum = ref 0 in
+  let executed = ref 0 and init_samples = ref 0 in
+  List.iter
+    (function
+      | Telemetry.Round { round; messages; words; steps; active; drops; _ } ->
+        msg_sum := !msg_sum + messages;
+        word_sum := !word_sum + words;
+        step_sum := !step_sum + steps;
+        if round = 0 then begin
+          incr init_samples;
+          Alcotest.(check int) "init round has no steps" 0 steps;
+          Alcotest.(check int) "init round activates all nodes" (Graph.n g) active
+        end
+        else incr executed;
+        Alcotest.(check bool) "drops non-negative" true (drops >= 0)
+      | _ -> ())
+    tr.Telemetry.events;
+  Alcotest.(check int) "one init sample per engine run" 1 !init_samples;
+  Alcotest.(check int) "executed-round samples = stats.rounds"
+    st.Engine.rounds !executed;
+  Alcotest.(check int) "recording's round clock matches" st.Engine.rounds
+    tr.Telemetry.rounds;
+  Alcotest.(check int) "message deltas sum to stats.messages"
+    st.Engine.messages !msg_sum;
+  Alcotest.(check int) "word deltas sum to stats.total_words"
+    st.Engine.total_words !word_sum
+
+(* ------------------------------------------------------------------ *)
+(* Export round-trips: both formats reload to the same deterministic
+   stream. *)
+
+let spanner_recording () =
+  let rng = Random.State.make [| 31; 7 |] in
+  let g =
+    Gen.ensure_connected
+      (Random.State.make [| 31; 8 |])
+      (Gen.erdos_renyi (Random.State.make [| 31; 9 |]) ~n:48 ~p:0.15 ())
+  in
+  let _, tr =
+    Telemetry.record (fun () -> Light_spanner.build ~rng g ~k:2 ~epsilon:0.3)
+  in
+  ignore (Graph.n g);
+  tr
+
+let test_export_roundtrip () =
+  let tr = spanner_recording () in
+  let lines = Telemetry.deterministic_lines tr in
+  Alcotest.(check bool) "recording is non-trivial" true
+    (List.length lines > 50);
+  List.iter
+    (fun path ->
+      Telemetry.write_file tr path;
+      let back = Telemetry.load_file path in
+      Alcotest.(check (list string))
+        (path ^ " round-trips")
+        lines
+        (Telemetry.deterministic_lines back);
+      Alcotest.(check int) (path ^ " keeps the round clock") tr.Telemetry.rounds
+        back.Telemetry.rounds;
+      Sys.remove path)
+    [ "roundtrip_test.jsonl"; "roundtrip_test.json" ]
+
+let test_leaf_coverage () =
+  let tr = spanner_recording () in
+  let cov = Telemetry.leaf_round_coverage tr in
+  Alcotest.(check bool) "leaf spans cover >= 95% of rounds" true (cov >= 0.95);
+  Alcotest.(check bool) "coverage is a fraction" true (cov <= 1.0 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: the full telemetry stream — span tree, round
+   samples, link totals — is byte-identical across backends, with and
+   without a fault plan. Program/graph generators mirror
+   test_engine_diff.ml. *)
+
+let mix a b c d =
+  let h = ref (a * 0x9E3779B1) in
+  h := (!h lxor (b * 0x85EBCA6B)) * 0xC2B2AE35;
+  h := (!h lxor (c * 0x27D4EB2F)) * 0x165667B1;
+  h := !h lxor (d * 0x9E3779B1);
+  h := !h lxor (!h lsr 15);
+  abs !h
+
+let flood_program ~seed ~ttl ~word_cap : (int, int) Engine.program =
+  let open Engine in
+  let payload_of ~me ~round ~edge = mix seed me round edge mod 1000 in
+  let sends ctx ~round ~state =
+    Array.to_list ctx.neighbors
+    |> List.filter_map (fun (edge, _) ->
+           if mix seed (ctx.me + state) round edge mod 3 <> 0 then
+             Some { via = edge; msg = payload_of ~me:ctx.me ~round ~edge }
+           else None)
+  in
+  {
+    name = "rand-flood";
+    words = (fun m -> 1 + (abs m mod word_cap));
+    init = (fun ctx -> (ctx.me, sends ctx ~round:0 ~state:0));
+    step =
+      (fun ctx ~round s inbox ->
+        let s =
+          List.fold_left
+            (fun acc (r : int received) ->
+              (acc * 31) + (r.from * 7) + r.payload + r.edge)
+            s inbox
+        in
+        let s = s land 0xFFFFFF in
+        if round <= ttl then (s, sends ctx ~round ~state:s, round < ttl)
+        else (s, [], false));
+  }
+
+let graph_of ~n ~seed =
+  let rng = Random.State.make [| seed; 17 |] in
+  let p = 0.05 +. (float_of_int (seed mod 7) /. 10.0) in
+  Gen.erdos_renyi rng ~n ~p ()
+
+let telemetry_lines ?plan backend g program =
+  Engine.with_backend backend (fun () ->
+      let capture () =
+        let (), tr =
+          Telemetry.record (fun () ->
+              Telemetry.span "flood" (fun () ->
+                  ignore (Engine.run ~on_round_limit:`Mark g program)))
+        in
+        tr
+      in
+      let tr =
+        match plan with
+        | None -> capture ()
+        | Some plan ->
+          Fault.reset plan;
+          Engine.with_faults ~max_rounds:5_000 plan capture
+      in
+      Telemetry.deterministic_lines tr)
+
+let prop_telemetry_differential =
+  QCheck2.Test.make
+    ~name:"telemetry stream identical on both backends (plain + faults)"
+    ~count:60
+    QCheck2.Gen.(triple (int_range 2 40) (int_range 0 100_000) (int_range 0 8))
+    (fun (n, seed, ttl) ->
+      let g = graph_of ~n ~seed in
+      let program = flood_program ~seed ~ttl ~word_cap:4 in
+      let plain_fast = telemetry_lines Engine.Fast g program in
+      let plain_ref = telemetry_lines Engine.Reference g program in
+      let plan = Fault.make ~drop_prob:0.1 ~seed:(seed land 0xFFFF) () in
+      let fault_fast = telemetry_lines ~plan Engine.Fast g program in
+      let fault_ref = telemetry_lines ~plan Engine.Reference g program in
+      plain_fast = plain_ref && fault_fast = fault_ref
+      (* Faults must actually perturb the stream for the second half of
+         the property to mean anything — but only when something was
+         droppable; tiny graphs can legitimately coincide, so no
+         assertion on [plain <> fault] here. *))
+
+(* Fixed QCheck seed: dune runtest must be deterministic. *)
+let qcheck t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x7e1e |]) t
+
+let () =
+  Alcotest.run "ln_telemetry"
+    [
+      ( "guards",
+        [
+          Alcotest.test_case "engine rate helpers never inf/nan" `Quick
+            test_rate_guards;
+          Alcotest.test_case "link_load deterministic under ties" `Quick
+            test_link_load_ties;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "span measures engine totals + ledger" `Quick
+            test_span_ledger;
+          Alcotest.test_case "round samples sum to run stats" `Quick
+            test_round_samples;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl and chrome round-trip" `Quick
+            test_export_roundtrip;
+          Alcotest.test_case "leaf coverage on light spanner" `Quick
+            test_leaf_coverage;
+        ] );
+      ("differential", [ qcheck prop_telemetry_differential ]);
+    ]
