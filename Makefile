@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-smoke trace-smoke clean
+.PHONY: all build test bench bench-smoke chaos chaos-smoke trace-smoke par-smoke clean
 
 all: build
 
@@ -34,6 +34,12 @@ chaos-smoke:
 # span round coverage. Also runs in `dune runtest` via @trace-smoke.
 trace-smoke:
 	dune build @trace-smoke
+
+# Parallel-backend smoke: spanner pipeline + chaotic reliable BFS and
+# broadcast on 2/4 engine domains, with trace coverage and verdicts
+# checked. Also runs in `dune runtest` via @par-smoke.
+par-smoke:
+	dune build @par-smoke
 
 clean:
 	dune clean

@@ -60,6 +60,25 @@ let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
 let ledger_arg =
   Arg.(value & flag & info [ "ledger" ] ~doc:"Print the per-phase round ledger.")
 
+let domains_arg =
+  let env =
+    Cmd.Env.info "LIGHTNET_DOMAINS"
+      ~doc:"Default engine domain count (same as $(b,--domains))."
+  in
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N" ~env
+        ~doc:
+          "Run the CONGEST engine on N OCaml domains (parallel backend). \
+           Results are byte-identical for every N; only wall time changes.")
+
+(* Install the parallel backend for the dynamic extent of [f]. 1 keeps
+   the default sequential fast engine. *)
+let with_domains domains f =
+  if domains < 1 then Fmt.failwith "--domains must be >= 1 (got %d)" domains
+  else if domains = 1 then f ()
+  else Engine.with_backend (Engine.Par domains) f
+
 let trace_arg =
   Arg.(
     value
@@ -88,10 +107,13 @@ let with_trace trace f =
     v
 
 let spanner_cmd =
-  let run n model seed k epsilon ledger input output trace =
+  let run n model seed k epsilon ledger input output trace domains =
     let g = make_graph ?input ~model ~n ~seed () in
     report_common g;
-    let sp, q = with_trace trace (fun () -> Quick.light_spanner ~seed ~epsilon g ~k) in
+    let sp, q =
+      with_domains domains (fun () ->
+          with_trace trace (fun () -> Quick.light_spanner ~seed ~epsilon g ~k))
+    in
     Format.printf "light spanner: %a@." Quick.pp_quality q;
     Format.printf "  promised: stretch <= %.2f@." sp.Light_spanner.stretch_bound;
     Format.printf "  buckets: %d in case 1, %d in case 2; E' edges %d@."
@@ -113,18 +135,19 @@ let spanner_cmd =
     (Cmd.info "spanner" ~doc:"Build the Section-5 light spanner (Table 1 row 1).")
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ k_arg $ eps_arg $ ledger_arg
-      $ input_arg $ output_arg $ trace_arg)
+      $ input_arg $ output_arg $ trace_arg $ domains_arg)
 
 let slt_cmd =
-  let run n model seed root epsilon gamma ledger trace =
+  let run n model seed root epsilon gamma ledger trace domains =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
     let rng = Random.State.make [| seed; 0x51 |] in
     let t =
-      with_trace trace (fun () ->
-          match gamma with
-          | Some gamma -> Slt.build_light ~rng g ~rt:root ~gamma
-          | None -> Slt.build ~rng g ~rt:root ~epsilon)
+      with_domains domains (fun () ->
+          with_trace trace (fun () ->
+              match gamma with
+              | Some gamma -> Slt.build_light ~rng g ~rt:root ~gamma
+              | None -> Slt.build ~rng g ~rt:root ~epsilon))
     in
     Format.printf "SLT: stretch %.3f (promised %.1f), lightness %.3f (promised %.2f)@."
       (Stats.tree_root_stretch g t.Slt.tree ~root)
@@ -145,13 +168,16 @@ let slt_cmd =
     (Cmd.info "slt" ~doc:"Build the Section-4 shallow-light tree (Table 1 row 2).")
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ root_arg $ eps_arg $ gamma_arg
-      $ ledger_arg $ trace_arg)
+      $ ledger_arg $ trace_arg $ domains_arg)
 
 let net_cmd =
-  let run n model seed radius delta ledger trace =
+  let run n model seed radius delta ledger trace domains =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
-    let net = with_trace trace (fun () -> Quick.net ~seed ~delta g ~radius) in
+    let net =
+      with_domains domains (fun () ->
+          with_trace trace (fun () -> Quick.net ~seed ~delta g ~radius))
+    in
     Format.printf
       "net: %d points in %d iterations; covering <= %.2f, separation > %.2f@."
       (List.length net.Net.points) net.Net.iterations net.Net.covering_bound
@@ -169,13 +195,16 @@ let net_cmd =
     (Cmd.info "net" ~doc:"Build a Section-6 (alpha,beta)-net (Table 1 row 3).")
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ radius_arg $ delta_arg
-      $ ledger_arg $ trace_arg)
+      $ ledger_arg $ trace_arg $ domains_arg)
 
 let doubling_cmd =
-  let run n model seed epsilon ledger trace =
+  let run n model seed epsilon ledger trace domains =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
-    let sp, q = with_trace trace (fun () -> Quick.doubling_spanner ~seed ~epsilon g) in
+    let sp, q =
+      with_domains domains (fun () ->
+          with_trace trace (fun () -> Quick.doubling_spanner ~seed ~epsilon g))
+    in
     Format.printf "doubling spanner: %a (%d scales, max table %d)@." Quick.pp_quality q
       sp.Doubling_spanner.scales sp.Doubling_spanner.max_table;
     if ledger then Format.printf "%a@." Ledger.pp sp.Doubling_spanner.ledger
@@ -184,17 +213,22 @@ let doubling_cmd =
   Cmd.v
     (Cmd.info "doubling"
        ~doc:"Build the Section-7 doubling-graph spanner (Table 1 row 4).")
-    Term.(const run $ n_arg $ model_arg $ seed_arg $ eps_arg $ ledger_arg $ trace_arg)
+    Term.(
+      const run $ n_arg $ model_arg $ seed_arg $ eps_arg $ ledger_arg
+      $ trace_arg $ domains_arg)
 
 let estimate_cmd =
-  let run n model seed alpha trace =
+  let run n model seed alpha trace domains =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
     let rng = Random.State.make [| seed; 0xe5 |] in
     let est =
-      with_trace trace (fun () ->
-          let bfs = Telemetry.span "bfs-tree" (fun () -> fst (Bfs.tree g ~root:0)) in
-          Mst_weight.estimate ~rng g ~bfs ~alpha)
+      with_domains domains (fun () ->
+          with_trace trace (fun () ->
+              let bfs =
+                Telemetry.span "bfs-tree" (fun () -> fst (Bfs.tree g ~root:0))
+              in
+              Mst_weight.estimate ~rng g ~bfs ~alpha))
     in
     let l = Mst_seq.weight g in
     Format.printf "Psi = %.1f; Psi/L = %.2f (guaranteed in [1, %.1f]); %d levels@."
@@ -204,7 +238,9 @@ let estimate_cmd =
   let alpha_arg = Arg.(value & opt float 2.0 & info [ "alpha" ] ~doc:"Alpha.") in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Section-8 net-based MST weight estimation.")
-    Term.(const run $ n_arg $ model_arg $ seed_arg $ alpha_arg $ trace_arg)
+    Term.(
+      const run $ n_arg $ model_arg $ seed_arg $ alpha_arg $ trace_arg
+      $ domains_arg)
 
 (* Chaos runs: build a deterministic fault plan from --fault-seed,
    drive an algorithm through it, certify the result with Monitor, and
@@ -213,7 +249,7 @@ let estimate_cmd =
    description in the ledger) replays the exact run. *)
 let chaos_cmd =
   let run n model seed algo drop_prob drop_until crash_nodes link_fails
-      fault_seed reliable max_retries ledger trace =
+      fault_seed reliable max_retries ledger trace domains =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
     let n = Graph.n g in
@@ -245,10 +281,13 @@ let chaos_cmd =
     Ledger.note lg ~label:"graph-seed" (string_of_int seed);
     Ledger.note lg ~label:"fault-seed" (string_of_int fault_seed);
     Ledger.note lg ~label:"fault-plan" (Fault.describe plan);
+    if domains > 1 then
+      Ledger.note lg ~label:"domains" (string_of_int domains);
     let before = Engine.snapshot_totals () in
     (* Record only around the faulty run itself; the trace is written
        before the non-zero exits below. *)
     let stats, report =
+      with_domains domains @@ fun () ->
       with_trace trace @@ fun () ->
       (* One span over the whole chaotic run, so the trace's phase tree
          attributes the rounds even for the uninstrumented raw
@@ -316,6 +355,12 @@ let chaos_cmd =
       | a -> Fmt.failwith "unknown algo %S (bfs|broadcast|mst)" a
     in
     Ledger.attach_perf lg (Engine.totals_since before);
+    (if domains > 1 then
+       let peaks = Engine.par_arena_peaks () in
+       if Array.length peaks > 0 then
+         Ledger.note lg ~label:"par-arena-peaks"
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int peaks))));
     Format.printf "run: %a@." Engine.pp_stats stats;
     Format.printf "verdict: %a@." Monitor.pp report;
     if ledger then Format.printf "%a@." Ledger.pp lg;
@@ -373,7 +418,7 @@ let chaos_cmd =
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ algo_arg $ drop_arg
       $ drop_until_arg $ crash_arg $ link_arg $ fault_seed_arg $ reliable_arg
-      $ retries_arg $ ledger_arg $ trace_arg)
+      $ retries_arg $ ledger_arg $ trace_arg $ domains_arg)
 
 let report_cmd =
   let run file min_coverage =

@@ -1,5 +1,4 @@
-let kruskal g =
-  if not (Graph.is_connected g) then invalid_arg "Mst_seq.kruskal: disconnected";
+let forest g =
   let ids = Array.init (Graph.m g) (fun i -> i) in
   Array.sort (Graph.compare_edges g) ids;
   let uf = Union_find.create (Graph.n g) in
@@ -10,6 +9,10 @@ let kruskal g =
       if Union_find.union uf u v then acc := id :: !acc)
     ids;
   List.sort Int.compare !acc
+
+let kruskal g =
+  if not (Graph.is_connected g) then invalid_arg "Mst_seq.kruskal: disconnected";
+  forest g
 
 let prim g =
   if not (Graph.is_connected g) then invalid_arg "Mst_seq.prim: disconnected";
@@ -52,6 +55,7 @@ let prim g =
   end
 
 let weight g = Graph.weight_of_edges g (kruskal g)
+let forest_weight g = Graph.weight_of_edges g (forest g)
 
 let is_spanning_tree g ids =
   List.length ids = Graph.n g - 1

@@ -3,18 +3,30 @@
     All MST code in this library — sequential and distributed — breaks
     weight ties by edge id ({!Graph.compare_edges}), so the MST is
     unique and independent constructions can be compared edge-for-edge.
-    Inputs must be connected graphs. *)
+    Inputs must be connected graphs, except for {!forest} and
+    {!forest_weight}. *)
 
 (** [kruskal g] is the list of MST edge ids (sorted increasingly).
     @raise Invalid_argument if [g] is disconnected. *)
 val kruskal : Graph.t -> int list
 
+(** [forest g] is the minimum spanning forest: the same tie-broken
+    Kruskal construction, but defined on any graph — one tree per
+    connected component, empty for an edgeless graph. Equals
+    [kruskal g] when [g] is connected. *)
+val forest : Graph.t -> int list
+
 (** [prim g] is the same MST computed by Prim's algorithm (used to
     cross-check Kruskal and the distributed construction). *)
 val prim : Graph.t -> int list
 
-(** [weight g] is the total MST weight [w(MST)]. *)
+(** [weight g] is the total MST weight [w(MST)].
+    @raise Invalid_argument if [g] is disconnected. *)
 val weight : Graph.t -> float
+
+(** [forest_weight g] is the total weight of {!forest} — a baseline
+    that exists for every graph. *)
+val forest_weight : Graph.t -> float
 
 (** [is_spanning_tree g ids] checks that [ids] has [n-1] edges and
     connects all vertices. *)

@@ -1,11 +1,30 @@
 let lightness g ids =
-  let w_mst = Mst_seq.weight g in
-  Graph.weight_of_edges g ids /. w_mst
+  (* The forest weight equals the MST weight on connected graphs and,
+     unlike [Mst_seq.weight], is defined (rather than raising) on
+     disconnected ones — lightness against the spanning-forest baseline
+     is the natural per-component generalization. *)
+  let w_mst = Mst_seq.forest_weight g in
+  let w = Graph.weight_of_edges g ids in
+  (* Degenerate baseline: an edgeless (or single-vertex) graph has
+     forest weight 0, and the only subgraph it admits is the empty one
+     — perfectly light, 1.0, not 0/0 = nan. The [infinity] arm is
+     unreachable while edge weights are strictly positive, but keeps
+     the function total if that invariant ever relaxes. *)
+  if w_mst > 0.0 then w /. w_mst else if w <= 0.0 then 1.0 else infinity
 
 let in_set g ids =
-  let mask = Array.make (Graph.m g) false in
+  let mask = Array.make (max 1 (Graph.m g)) false in
   List.iter (fun id -> mask.(id) <- true) ids;
   fun id -> mask.(id)
+
+(* Stretch of one edge: spanner distance over edge weight.
+   [Graph.create] rejects non-positive weights, so the [w > 0] branch
+   is the only one reachable through the public API; the fallback is
+   defense in depth against a future relaxation of that invariant —
+   a 0/0 here would make nan, which fails every [>] comparison and
+   silently vanishes from the aggregated maximum. *)
+let edge_stretch ~dist ~w =
+  if w > 0.0 then dist /. w else if dist <= 0.0 then 1.0 else infinity
 
 let max_edge_stretch g ids =
   let edge_ok = in_set g ids in
@@ -17,7 +36,7 @@ let max_edge_stretch g ids =
       Array.iter
         (fun (id, u) ->
           if u > v then begin
-            let s = sp.dist.(u) /. Graph.weight g id in
+            let s = edge_stretch ~dist:sp.dist.(u) ~w:(Graph.weight g id) in
             if s > !worst then worst := s
           end)
         (Graph.neighbors g v)
@@ -46,7 +65,7 @@ let sampled_edge_stretch rng g ids ~samples =
         List.iter
           (fun id ->
             let v = Graph.other_end g id u in
-            let s = sp.dist.(v) /. Graph.weight g id in
+            let s = edge_stretch ~dist:sp.dist.(v) ~w:(Graph.weight g id) in
             if s > !worst then worst := s)
           ids_here)
       by_src;
@@ -58,8 +77,14 @@ let root_stretch g ids ~root =
   let exact = Paths.dijkstra g root in
   let approx = Paths.dijkstra ~edge_ok g root in
   let worst = ref 1.0 in
+  (* Vertices unreachable in [g] itself have no defined stretch (the
+     exact distance is [infinity]; dividing would make inf/inf = nan):
+     skip them explicitly rather than relying on nan losing the [>]
+     below. A vertex reachable in [g] but not in the subgraph yields
+     [infinity], which is the honest answer. *)
   for v = 0 to Graph.n g - 1 do
-    if v <> root && exact.dist.(v) > 0.0 then begin
+    if v <> root && exact.dist.(v) > 0.0 && Float.is_finite exact.dist.(v)
+    then begin
       let s = approx.dist.(v) /. exact.dist.(v) in
       if s > !worst then worst := s
     end
@@ -70,7 +95,8 @@ let tree_root_stretch g tree ~root =
   let exact = Paths.dijkstra g root in
   let worst = ref 1.0 in
   for v = 0 to Graph.n g - 1 do
-    if v <> root && exact.dist.(v) > 0.0 then begin
+    if v <> root && exact.dist.(v) > 0.0 && Float.is_finite exact.dist.(v)
+    then begin
       let s = Tree.dist_to_root tree v /. exact.dist.(v) in
       if s > !worst then worst := s
     end

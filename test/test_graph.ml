@@ -265,6 +265,52 @@ let test_stats_identity () =
      stretch is 1.0 for tree edges themselves. *)
   check_close "mst stretch on diamond" 1.0 (Stats.max_edge_stretch g mst)
 
+(* Degenerate inputs must yield pinned, non-nan results: zero-weight
+   spanning-forest baselines hit 0/0 in lightness, and vertices
+   unreachable in the host itself hit inf/inf in root stretch. The
+   contract: perfectly-light/perfectly-served cases give 1.0, honest
+   failures give [infinity], and nan never escapes. *)
+let test_stats_degenerate () =
+  let no_nan msg x =
+    if Float.is_nan x then Alcotest.failf "%s: got nan" msg
+  in
+  let check_inf msg x =
+    if x <> infinity then Alcotest.failf "%s: %.12g <> inf" msg x
+  in
+  (* Edgeless graph: forest weight 0, no edges to stretch. Lightness
+     used to raise (MST of a disconnected graph); now pinned at 1.0. *)
+  let empty = Graph.create 3 [] in
+  check_close "edgeless lightness" 1.0 (Stats.lightness empty []);
+  check_close "edgeless stretch" 1.0 (Stats.max_edge_stretch empty []);
+  check_close "edgeless sampled stretch" 1.0
+    (Stats.sampled_edge_stretch (rng ()) empty [] ~samples:8);
+  check_close "edgeless root stretch" 1.0 (Stats.root_stretch empty [] ~root:0);
+  (* Single vertex: connected, MST weight 0 — lightness was 0/0. *)
+  let one = Graph.create 1 [] in
+  check_close "single-vertex lightness" 1.0 (Stats.lightness one []);
+  (* Disconnected host: vertices 2 and 3 are unreachable from the root
+     in [g] itself, so they carry no defined stretch and must be
+     skipped rather than poisoning the max with inf/inf = nan; vertex 1
+     is reachable and served exactly. *)
+  let disc =
+    Graph.create 4
+      [ { Graph.u = 0; v = 1; w = 1.0 }; { Graph.u = 2; v = 3; w = 1.0 } ]
+  in
+  check_close "disconnected root stretch" 1.0
+    (Stats.root_stretch disc [ 0 ] ~root:0);
+  let t = Tree.of_edges disc ~root:0 [ 0 ] in
+  check_close "disconnected tree root stretch" 1.0
+    (Stats.tree_root_stretch disc t ~root:0);
+  (* Forest baseline on the disconnected host: both edges, weight 2. *)
+  check_close "forest lightness on disconnected host" 0.5
+    (Stats.lightness disc [ 0 ]);
+  (* An empty spanner still fails honestly: edge endpoints are
+     disconnected in H, so stretch diverges rather than going nan. *)
+  check_inf "empty spanner stretch diverges" (Stats.max_edge_stretch disc []);
+  let r = Stats.report (rng ()) empty [] in
+  no_nan "report lightness" r.Stats.lightness;
+  no_nan "report stretch" r.Stats.stretch
+
 let test_root_stretch () =
   let g = diamond () in
   let mst = Mst_seq.kruskal g in
@@ -463,6 +509,8 @@ let () =
           Alcotest.test_case "generators connected" `Quick test_generators_connected;
           Alcotest.test_case "stats identities" `Quick test_stats_identity;
           Alcotest.test_case "root stretch" `Quick test_root_stretch;
+          Alcotest.test_case "degenerate stats stay finite or pinned" `Quick
+            test_stats_degenerate;
           Alcotest.test_case "metric props" `Quick test_metric_net_props;
           qcheck prop_heavy_tailed_weights_in_range;
           qcheck prop_geometric_weights_are_distances;
