@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-smoke trace-smoke par-smoke clean
+.PHONY: all build test bench bench-smoke chaos chaos-smoke trace-smoke par-smoke route-smoke oracle clean
 
 all: build
 
@@ -40,6 +40,18 @@ trace-smoke:
 # checked. Also runs in `dune runtest` via @par-smoke.
 par-smoke:
 	dune build @par-smoke
+
+# Serving-layer smoke: build an artifact on a small doubling graph,
+# serve 1k Zipf queries through the source cache, certify stretch <= t
+# against exact distances, then hit the label tier. Also runs in
+# `dune runtest` via @route-smoke.
+route-smoke:
+	dune build @route-smoke
+
+# Route-oracle benchmark: qps per tier, cache hit-rate sweep, label vs
+# Dijkstra speedup and a certified max stretch. Writes BENCH_oracle.json.
+oracle:
+	dune exec bench/oracle_bench.exe
 
 clean:
 	dune clean

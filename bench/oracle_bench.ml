@@ -1,0 +1,312 @@
+(* Route-oracle benchmark: the serving-side numbers for the artifact +
+   oracle layer, committed as BENCH_oracle.json.
+
+   Sections:
+
+   1. artifact: build + save + load wall times, file size, and a
+      save->load->save byte-identity check on the benchmark graph.
+   2. tiers: throughput and latency percentiles per query tier (label,
+      spanner-Dijkstra, warm cache) on the same Zipf workload, plus
+      the label-vs-Dijkstra and cache-vs-Dijkstra speedups — the
+      serving claim is that both beat per-query Dijkstra on H.
+   3. cache_sweep: hit rate, eviction count and qps as the LRU
+      capacity sweeps a few powers of four, on Zipf and uniform
+      workloads (uniform is the adversary: no hot set to keep).
+   4. certification: stretch certificates for the cache tier (bound =
+      the artifact's promised spanner stretch — must hold) and the
+      label tier (measured tree stretch, reported not promised), and
+      an exhaustive label-vs-Tree.dist agreement check.
+
+   Hand-rolled JSON like the other benches (no yojson in the image);
+   `--smoke` shrinks n so the whole run finishes in seconds. *)
+
+open Lightnet
+
+let spf = Printf.sprintf
+
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (spf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec emit b ~indent t =
+    let pad k = String.make k ' ' in
+    match t with
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string b (spf "%.6g" f)
+      else Buffer.add_string b "null"
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+      Buffer.add_string b "[";
+      List.iteri
+        (fun i x ->
+          Buffer.add_string b (if i = 0 then "" else ", ");
+          emit b ~indent x)
+        xs;
+      Buffer.add_string b "]"
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 2));
+          Buffer.add_string b (spf "\"%s\": " (escape k));
+          emit b ~indent:(indent + 2) v)
+        kvs;
+      Buffer.add_string b (spf "\n%s}" (pad indent))
+
+  let to_string t =
+    let b = Buffer.create 4096 in
+    emit b ~indent:0 t;
+    Buffer.add_char b '\n';
+    Buffer.contents b
+end
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let outcome_json (o : Serve.outcome) =
+  Json.Obj
+    [
+      ("tier", Json.Str (Oracle.tier_name o.Serve.tier));
+      ("queries", Json.Int o.Serve.queries);
+      ("wall_s", Json.Float o.Serve.wall_s);
+      ("qps", Json.Float o.Serve.qps);
+      ("p50_us", Json.Float o.Serve.latency.Serve.p50_us);
+      ("p90_us", Json.Float o.Serve.latency.Serve.p90_us);
+      ("p99_us", Json.Float o.Serve.latency.Serve.p99_us);
+      ("max_us", Json.Float o.Serve.latency.Serve.max_us);
+      ("cache_hits", Json.Int o.Serve.cache.Oracle.hits);
+      ("cache_misses", Json.Int o.Serve.cache.Oracle.misses);
+      ("cache_evictions", Json.Int o.Serve.cache.Oracle.evictions);
+      ("checksum", Json.Float o.Serve.checksum);
+    ]
+
+let certificate_json (c : Serve.certificate) =
+  Json.Obj
+    [
+      ("verdict", Json.Str (Monitor.verdict_name c.Serve.report.Monitor.verdict));
+      ("detail", Json.Str c.Serve.report.Monitor.detail);
+      ("sampled", Json.Int c.Serve.sampled);
+      ("exact_sssps", Json.Int c.Serve.sources);
+      ("max_stretch", Json.Float c.Serve.max_stretch);
+      ("violations", Json.Int c.Serve.violations);
+      ("bound", Json.Float c.Serve.bound);
+    ]
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let n = if smoke then 256 else 2000 in
+  let seed = 7 in
+  let q_fast = if smoke then 4_000 else 40_000 in
+  let q_dijkstra = if smoke then 500 else 2_000 in
+  Printf.printf "oracle bench: n=%d (%s)\n%!" n (if smoke then "smoke" else "full");
+
+  (* Benchmark graph: random-geometric = the doubling workload. *)
+  let rng = Random.State.make [| seed; 0x0b |] in
+  let g =
+    fst (Gen.random_geometric rng ~n ~radius:(2.0 /. Float.sqrt (float_of_int n)) ())
+  in
+  Printf.printf "graph: n=%d m=%d\n%!" (Graph.n g) (Graph.m g);
+
+  (* 1. Artifact build / save / load. *)
+  let (sp, _q), build_s =
+    time (fun () -> Quick.light_spanner ~seed ~epsilon:0.25 g ~k:2)
+  in
+  let slt, slt_s =
+    time (fun () ->
+        Slt.build ~rng:(Random.State.make [| seed; 0x51 |]) g ~rt:0 ~epsilon:0.5)
+  in
+  let art =
+    Artifact.make ~graph:g ~slt_root:0
+      ~spanner_stretch:sp.Light_spanner.stretch_bound
+      ~spanner_edges:sp.Light_spanner.edges ~slt_edges:slt.Slt.edges
+      ~mst_edges:(Mst_seq.kruskal g)
+      ~params:[ ("bench", "oracle"); ("n", string_of_int n) ]
+      ()
+  in
+  let path = Filename.temp_file "lightnet_oracle" ".artifact" in
+  let (), save_s = time (fun () -> Artifact.save path art) in
+  let loaded, load_s = time (fun () -> Artifact.load path) in
+  let size_bytes = (Unix.stat path).Unix.st_size in
+  let path2 = Filename.temp_file "lightnet_oracle" ".artifact" in
+  Artifact.save path2 loaded;
+  let byte_identical = read_file path = read_file path2 in
+  Sys.remove path;
+  Sys.remove path2;
+  Printf.printf
+    "artifact: build %.2fs+%.2fs save %.4fs load %.4fs (%d bytes, resave identical: %b)\n%!"
+    build_s slt_s save_s load_s size_bytes byte_identical;
+  if not byte_identical then failwith "artifact re-save not byte-identical";
+
+  (* 2. Throughput per tier on the same Zipf workload shape. *)
+  let oracle = Oracle.create ~cache_capacity:64 loaded in
+  let zipf = Workload.Zipf 1.1 in
+  let pairs_fast = Workload.generate ~seed g zipf ~count:q_fast in
+  let pairs_dij = Workload.generate ~seed g zipf ~count:q_dijkstra in
+  let o_label = Serve.run oracle ~tier:Oracle.Label pairs_fast in
+  let o_spanner = Serve.run oracle ~tier:Oracle.Spanner pairs_dij in
+  (* Warm the cache with one pass, then measure the steady state. *)
+  ignore (Serve.run oracle ~tier:Oracle.Cache pairs_dij);
+  Oracle.reset_cache_stats oracle;
+  let o_cache = Serve.run oracle ~tier:Oracle.Cache pairs_dij in
+  List.iter
+    (fun o -> Format.printf "  %a@." Serve.pp_outcome o)
+    [ o_label; o_spanner; o_cache ];
+  let speedup num den = if den > 0.0 then num /. den else 0.0 in
+  let label_speedup = speedup o_label.Serve.qps o_spanner.Serve.qps in
+  let cache_speedup = speedup o_cache.Serve.qps o_spanner.Serve.qps in
+  Printf.printf "  label/dijkstra speedup %.1fx, warm-cache/dijkstra %.1fx\n%!"
+    label_speedup cache_speedup;
+
+  (* 3. Cache capacity sweep. *)
+  let sweep_workloads = [ ("zipf", zipf); ("uniform", Workload.Uniform) ] in
+  let sweep =
+    List.map
+      (fun (wname, spec) ->
+        let pairs = Workload.generate ~seed g spec ~count:q_dijkstra in
+        let rows =
+          List.map
+            (fun cap ->
+              let o = Oracle.create ~cache_capacity:cap loaded in
+              let out = Serve.run o ~tier:Oracle.Cache pairs in
+              let s = Oracle.cache_stats o in
+              let total = s.Oracle.hits + s.Oracle.misses in
+              let hit_rate =
+                if total = 0 then 0.0
+                else float_of_int s.Oracle.hits /. float_of_int total
+              in
+              Printf.printf "  cache sweep %s cap=%d: hit rate %.3f, %.0f qps\n%!"
+                wname cap hit_rate out.Serve.qps;
+              Json.Obj
+                [
+                  ("capacity", Json.Int cap);
+                  ("hit_rate", Json.Float hit_rate);
+                  ("evictions", Json.Int s.Oracle.evictions);
+                  ("qps", Json.Float out.Serve.qps);
+                ])
+            [ 1; 4; 16; 64; 256 ]
+        in
+        (wname, Json.List rows))
+      sweep_workloads
+  in
+
+  (* 4. Certification. *)
+  let cert_sample = if smoke then 300 else 1000 in
+  let cert_cache =
+    Serve.certify ~sample:cert_sample oracle ~tier:Oracle.Cache
+      ~bound:loaded.Artifact.spanner_stretch pairs_fast
+  in
+  Format.printf "  cache-tier certificate: %a@." Serve.pp_certificate cert_cache;
+  if cert_cache.Serve.report.Monitor.verdict <> Monitor.Correct then
+    failwith "cache-tier certification failed";
+  (* Label tier: measure the tree stretch first, then certify against a
+     bound just above it — documents the measured value and exercises
+     the certifier's pass path on tier B. *)
+  let probe =
+    Serve.certify ~sample:cert_sample oracle ~tier:Oracle.Label ~bound:infinity
+      pairs_fast
+  in
+  let label_bound = probe.Serve.max_stretch *. 1.01 in
+  let cert_label =
+    Serve.certify ~sample:cert_sample oracle ~tier:Oracle.Label
+      ~bound:label_bound pairs_fast
+  in
+  Format.printf "  label-tier certificate: %a@." Serve.pp_certificate cert_label;
+  (* Exhaustive tier-B ground truth: labels equal Tree.dist everywhere
+     on a sampled pair set. *)
+  let slt_tree = Tree.of_edges g ~root:0 loaded.Artifact.slt_edges in
+  let labels = Oracle.labels oracle in
+  let close a b = Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a) in
+  let label_agree =
+    Array.for_all
+      (fun (u, v) -> close (Labels.dist labels u v) (Tree.dist slt_tree u v))
+      pairs_fast
+  in
+  Printf.printf "  label vs Tree.dist agreement on %d pairs: %b\n%!"
+    (Array.length pairs_fast) label_agree;
+  if not label_agree then failwith "label distances disagree with Tree.dist";
+
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.Str "route-oracle");
+        ("mode", Json.Str (if smoke then "smoke" else "full"));
+        ( "graph",
+          Json.Obj
+            [
+              ("model", Json.Str "geo");
+              ("n", Json.Int (Graph.n g));
+              ("m", Json.Int (Graph.m g));
+              ("seed", Json.Int seed);
+            ] );
+        ( "artifact",
+          Json.Obj
+            [
+              ("spanner_build_s", Json.Float build_s);
+              ("slt_build_s", Json.Float slt_s);
+              ("save_s", Json.Float save_s);
+              ("load_s", Json.Float load_s);
+              ("size_bytes", Json.Int size_bytes);
+              ("resave_byte_identical", Json.Bool byte_identical);
+              ("spanner_edges", Json.Int (List.length loaded.Artifact.spanner_edges));
+              ("graph_digest", Json.Str (Artifact.digest_hex loaded));
+            ] );
+        ( "tiers",
+          Json.Obj
+            [
+              ("workload", Json.Str (Workload.describe zipf));
+              ("label", outcome_json o_label);
+              ("spanner_dijkstra", outcome_json o_spanner);
+              ("cache_warm", outcome_json o_cache);
+              ("label_vs_dijkstra_speedup", Json.Float label_speedup);
+              ("cache_vs_dijkstra_speedup", Json.Float cache_speedup);
+            ] );
+        ("cache_sweep", Json.Obj sweep);
+        ( "certification",
+          Json.Obj
+            [
+              ("cache_tier", certificate_json cert_cache);
+              ("label_tier", certificate_json cert_label);
+              ( "label_matches_tree_dist_pairs",
+                Json.Int (Array.length pairs_fast) );
+              ("label_matches_tree_dist", Json.Bool label_agree);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_oracle.json" in
+  output_string oc (Json.to_string json);
+  close_out oc;
+  Printf.printf "wrote BENCH_oracle.json\n%!"

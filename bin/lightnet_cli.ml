@@ -420,6 +420,176 @@ let chaos_cmd =
       $ drop_until_arg $ crash_arg $ link_arg $ fault_seed_arg $ reliable_arg
       $ retries_arg $ ledger_arg $ trace_arg $ domains_arg)
 
+(* Artifact pipeline: `build-artifact` runs the constructions once and
+   persists everything the serving side needs; `serve` never rebuilds
+   — it loads, answers a workload on the chosen tier, and optionally
+   certifies the answered stretch against exact distances (exit 3 on a
+   Wrong verdict, mirroring chaos). *)
+let build_artifact_cmd =
+  let run n model seed input k epsilon slt_epsilon root output trace domains =
+    let g = make_graph ?input ~model ~n ~seed () in
+    report_common g;
+    let sp, q, slt =
+      with_domains domains (fun () ->
+          with_trace trace (fun () ->
+              let sp, q = Quick.light_spanner ~seed ~epsilon g ~k in
+              let rng = Random.State.make [| seed; 0x51 |] in
+              let slt = Slt.build ~rng g ~rt:root ~epsilon:slt_epsilon in
+              (sp, q, slt)))
+    in
+    let mst = Mst_seq.kruskal g in
+    let params =
+      [
+        ("model", model);
+        ("n", string_of_int (Graph.n g));
+        ("seed", string_of_int seed);
+        ("k", string_of_int k);
+        ("epsilon", string_of_float epsilon);
+        ("slt-epsilon", string_of_float slt_epsilon);
+        ("slt-root", string_of_int root);
+      ]
+      @ (match input with Some p -> [ ("input", p) ] | None -> [])
+    in
+    let prefix p = List.map (fun (l, v) -> (p ^ "/" ^ l, v)) in
+    let notes =
+      prefix "spanner" (Ledger.notes sp.Light_spanner.ledger)
+      @ prefix "slt" (Ledger.notes slt.Slt.ledger)
+    in
+    let art =
+      Artifact.make ~graph:g ~slt_root:root
+        ~spanner_stretch:sp.Light_spanner.stretch_bound
+        ~spanner_edges:sp.Light_spanner.edges ~slt_edges:slt.Slt.edges
+        ~mst_edges:mst ~params ~notes ()
+    in
+    Artifact.save output art;
+    Format.printf "spanner: %a@." Quick.pp_quality q;
+    Format.printf "%a@." Artifact.pp art;
+    Format.printf "artifact written to %s (%d bytes)@." output
+      (let st = Unix.stat output in
+       st.Unix.st_size)
+  in
+  let k_arg =
+    Arg.(value & opt int 2 & info [ "k"; "k-stretch" ] ~doc:"Spanner stretch parameter k.")
+  in
+  let eps_arg =
+    Arg.(value & opt float 0.25 & info [ "epsilon" ] ~doc:"Spanner epsilon.")
+  in
+  let slt_eps_arg =
+    Arg.(value & opt float 0.5 & info [ "slt-epsilon" ] ~doc:"SLT epsilon.")
+  in
+  let root_arg =
+    Arg.(value & opt int 0 & info [ "root" ] ~doc:"SLT root vertex.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output" ] ~docv:"FILE" ~doc:"Artifact destination file.")
+  in
+  Cmd.v
+    (Cmd.info "build-artifact"
+       ~doc:
+         "Build the light spanner, SLT and MST once and persist them as a \
+          versioned binary artifact for $(b,lightnet serve).")
+    Term.(
+      const run $ n_arg $ model_arg $ seed_arg $ input_arg $ k_arg $ eps_arg
+      $ slt_eps_arg $ root_arg $ out_arg $ trace_arg $ domains_arg)
+
+let serve_cmd =
+  let run file queries workload tier cache seed certify stretch sample =
+    let art = Artifact.load file in
+    Format.printf "%a@." Artifact.pp art;
+    let spec =
+      match Workload.parse workload with
+      | Some s -> s
+      | None ->
+        Fmt.failwith "unknown workload %S (uniform|zipf[:S]|local[:R])" workload
+    in
+    let tier =
+      match Oracle.tier_of_string tier with
+      | Some t -> t
+      | None -> Fmt.failwith "unknown tier %S (spanner|label|cache)" tier
+    in
+    let oracle = Oracle.create ~cache_capacity:cache art in
+    let pairs = Workload.generate ~seed art.Artifact.graph spec ~count:queries in
+    Format.printf "workload: %s, %d queries, seed %d@."
+      (Workload.describe spec) queries seed;
+    let outcome = Serve.run oracle ~tier pairs in
+    Format.printf "%a@." Serve.pp_outcome outcome;
+    if certify then begin
+      let bound =
+        match stretch with
+        | Some t -> t
+        | None -> art.Artifact.spanner_stretch
+      in
+      let sample = if sample <= 0 then None else Some sample in
+      let cert = Serve.certify ?sample oracle ~tier ~bound pairs in
+      Format.printf "certificate: %a@." Serve.pp_certificate cert;
+      if cert.Serve.report.Monitor.verdict = Monitor.Wrong then Stdlib.exit 3
+    end
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ARTIFACT" ~doc:"Artifact file written by build-artifact.")
+  in
+  let queries_arg =
+    Arg.(value & opt int 1000 & info [ "queries" ] ~doc:"Number of queries.")
+  in
+  let workload_arg =
+    Arg.(
+      value & opt string "zipf"
+      & info [ "workload" ] ~docv:"SPEC"
+          ~doc:"Workload shape: uniform, zipf[:S] (skew S), local[:R] (hop radius R).")
+  in
+  let tier_arg =
+    Arg.(
+      value & opt string "cache"
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:
+            "Query tier: spanner (exact Dijkstra on H per query), label \
+             (O(1) SLT tree labels), cache (Dijkstra-on-H through the \
+             single-source LRU).")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cache" ] ~docv:"CAP" ~doc:"Source-cache capacity (tier: cache).")
+  in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Replay a sample of answers against exact distances on G and \
+             fail (exit 3) if any exceeds the stretch bound.")
+  in
+  let stretch_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stretch" ] ~docv:"T"
+          ~doc:
+            "Certification bound (default: the artifact's promised spanner \
+             stretch; set explicitly when certifying the label tier).")
+  in
+  let sample_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "sample" ]
+          ~doc:"How many answers to certify (0 = the whole workload).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Load an artifact and serve a distance-query workload from it, \
+          reporting throughput, latency percentiles and (with --certify) a \
+          stretch certificate.")
+    Term.(
+      const run $ file_arg $ queries_arg $ workload_arg $ tier_arg $ cache_arg
+      $ seed_arg $ certify_arg $ stretch_arg $ sample_arg)
+
 let report_cmd =
   let run file min_coverage =
     let t = Telemetry.load_file file in
@@ -479,6 +649,8 @@ let () =
             doubling_cmd;
             estimate_cmd;
             chaos_cmd;
+            build_artifact_cmd;
+            serve_cmd;
             report_cmd;
             gen_cmd;
           ]))

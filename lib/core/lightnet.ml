@@ -20,7 +20,11 @@
     - {!Net}, {!Le_list}, {!Greedy_net}, {!Ruling_set} — Section 6;
     - {!Doubling_spanner} — Section 7;
     - {!Mst_weight} — Section 8 (the estimator behind the lower
-      bound). *)
+      bound);
+    - {!Artifact}, {!Labels}, {!Oracle}, {!Workload}, {!Serve},
+      {!Rmq} — the route-oracle serving layer (persisted artifacts
+      and the cached query engine, see DESIGN.md "Query serving &
+      artifacts"). *)
 
 module Graph = Ln_graph.Graph
 module Paths = Ln_graph.Paths
@@ -69,6 +73,12 @@ module Greedy_net = Ln_nets.Greedy_net
 module Ruling_set = Ln_nets.Ruling_set
 module Doubling_spanner = Ln_doubling.Doubling_spanner
 module Mst_weight = Ln_estimate.Mst_weight
+module Rmq = Ln_route.Rmq
+module Labels = Ln_route.Labels
+module Artifact = Ln_route.Artifact
+module Oracle = Ln_route.Oracle
+module Workload = Ln_route.Workload
+module Serve = Ln_route.Serve
 
 (** One-call constructions with bundled quality numbers — the paper's
     Table-1 rows as library calls. *)

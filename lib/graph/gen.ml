@@ -139,6 +139,33 @@ let caterpillar rng ~spine ~legs () =
   done;
   Graph.create (spine + legs) !edges
 
+(* Seeded Zipf sampler over ranks 0..n-1: P(r) proportional to
+   1/(r+1)^s. The CDF is precomputed once (O(n)); each draw is one
+   [Random.State.float] plus a binary search, so a sampler is cheap to
+   share across a whole workload and deterministic for a fixed rng
+   state. *)
+let zipf_sampler rng ~s ~n =
+  if n <= 0 then invalid_arg "Gen.zipf_sampler: n must be positive";
+  if not (s >= 0.0 && Float.is_finite s) then
+    invalid_arg "Gen.zipf_sampler: s must be finite and non-negative";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) s);
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  fun () ->
+    let x = Random.State.float rng total in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) < x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+let zipf rng ~s ~n = zipf_sampler rng ~s ~n ()
+
 let clustered rng ~clusters ~size ~p_in ~p_out () =
   let n = clusters * size in
   let edges = ref [] in

@@ -45,6 +45,18 @@ val caterpillar : rng -> spine:int -> legs:int -> unit -> Graph.t
 val clustered :
   rng -> clusters:int -> size:int -> p_in:float -> p_out:float -> unit -> Graph.t
 
+(** [zipf_sampler rng ~s ~n] is a sampler of Zipf-distributed ranks in
+    [[0, n)]: rank [r] is drawn with probability proportional to
+    [1/(r+1)^s] ([s = 0] is uniform). The CDF is precomputed once;
+    each call to the returned thunk costs one rng draw plus a binary
+    search. Deterministic for a fixed rng state — used by the
+    query-workload generators and the chaos/bench harnesses. *)
+val zipf_sampler : rng -> s:float -> n:int -> unit -> int
+
+(** One-shot {!zipf_sampler} draw (re-derives the CDF; prefer the
+    sampler in loops). *)
+val zipf : rng -> s:float -> n:int -> int
+
 (** [ensure_connected rng g] adds minimum-count random inter-component
     edges (with weights at the top of [g]'s weight range) until [g] is
     connected. Identity on connected graphs. *)

@@ -1,0 +1,125 @@
+module Graph = Ln_graph.Graph
+module Tree = Ln_graph.Tree
+module Paths = Ln_graph.Paths
+
+type tier = Spanner | Label | Cache
+
+let tier_name = function
+  | Spanner -> "spanner"
+  | Label -> "label"
+  | Cache -> "cache"
+
+let tier_of_string = function
+  | "spanner" | "a" | "A" -> Some Spanner
+  | "label" | "b" | "B" -> Some Label
+  | "cache" | "c" | "C" -> Some Cache
+  | _ -> None
+
+let pp_tier ppf t = Format.pp_print_string ppf (tier_name t)
+
+type answer = { dist : float; tier : tier; cache_hit : bool }
+
+type cache_stats = { hits : int; misses : int; evictions : int; entries : int }
+
+(* Single-source LRU: full Dijkstra-on-H distance arrays keyed by
+   source vertex. Capacities are small (each entry is O(n) floats), so
+   eviction scans for the stalest stamp instead of maintaining a
+   linked list. *)
+type lru = {
+  capacity : int;
+  table : (int, float array * int ref) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type t = {
+  artifact : Artifact.t;
+  g : Graph.t;
+  spanner_ok : int -> bool; (* membership mask of H's edge ids *)
+  labels : Labels.t; (* SLT tree labels *)
+  lru : lru;
+}
+
+let create ?(cache_capacity = 64) (artifact : Artifact.t) =
+  if cache_capacity < 1 then invalid_arg "Oracle.create: cache capacity < 1";
+  let g = artifact.Artifact.graph in
+  let mask = Array.make (max 1 (Graph.m g)) false in
+  List.iter (fun e -> mask.(e) <- true) artifact.Artifact.spanner_edges;
+  let slt_tree =
+    Tree.of_edges g ~root:artifact.Artifact.slt_root artifact.Artifact.slt_edges
+  in
+  {
+    artifact;
+    g;
+    spanner_ok = (fun e -> mask.(e));
+    labels = Labels.build slt_tree;
+    lru =
+      {
+        capacity = cache_capacity;
+        table = Hashtbl.create (2 * cache_capacity);
+        clock = 0;
+        hits = 0;
+        misses = 0;
+        evictions = 0;
+      };
+  }
+
+let artifact t = t.artifact
+let labels t = t.labels
+
+let spanner_sssp t src =
+  (Paths.dijkstra ~edge_ok:t.spanner_ok t.g src).Paths.dist
+
+let evict_stalest lru =
+  let victim = ref (-1) and stalest = ref max_int in
+  Hashtbl.iter
+    (fun src (_, stamp) ->
+      if !stamp < !stalest then begin
+        stalest := !stamp;
+        victim := src
+      end)
+    lru.table;
+  if !victim >= 0 then begin
+    Hashtbl.remove lru.table !victim;
+    lru.evictions <- lru.evictions + 1
+  end
+
+let cached_sssp t src =
+  let lru = t.lru in
+  lru.clock <- lru.clock + 1;
+  match Hashtbl.find_opt lru.table src with
+  | Some (dist, stamp) ->
+    lru.hits <- lru.hits + 1;
+    stamp := lru.clock;
+    (dist, true)
+  | None ->
+    lru.misses <- lru.misses + 1;
+    let dist = spanner_sssp t src in
+    if Hashtbl.length lru.table >= lru.capacity then evict_stalest lru;
+    Hashtbl.replace lru.table src (dist, ref lru.clock);
+    (dist, false)
+
+let query t ~tier u v =
+  match tier with
+  | Spanner -> { dist = (spanner_sssp t u).(v); tier; cache_hit = false }
+  | Label -> { dist = Labels.dist t.labels u v; tier; cache_hit = false }
+  | Cache ->
+    let dist, cache_hit = cached_sssp t u in
+    { dist = dist.(v); tier; cache_hit }
+
+let tree_route t ~src ~dst = Labels.route t.labels ~src ~dst
+
+let cache_stats t =
+  {
+    hits = t.lru.hits;
+    misses = t.lru.misses;
+    evictions = t.lru.evictions;
+    entries = Hashtbl.length t.lru.table;
+  }
+
+let reset_cache_stats t =
+  t.lru.hits <- 0;
+  t.lru.misses <- 0;
+  t.lru.evictions <- 0

@@ -1,0 +1,51 @@
+(** Three-tier distance/route query engine over a loaded {!Artifact}.
+
+    - {!Spanner} (tier A): exact Dijkstra on the sparse spanner H per
+      query. Answers are within the artifact's promised stretch of the
+      true G-distance by the spanner guarantee.
+    - {!Label} (tier B): O(1) tree distance on the SLT via {!Labels} —
+      no graph traversal at all. Exact on the SLT tree metric, an
+      upper bound on the G-distance; stretch for arbitrary pairs is
+      measured (certified), not promised.
+    - {!Cache} (tier C): tier A amortised through a capacity-bounded
+      single-source LRU — one Dijkstra per cache miss, O(1) per hit,
+      with hit/miss/eviction counters. Same answers as tier A.
+
+    Every answer is tagged with the tier that produced it (and, for
+    tier C, whether it was a cache hit). *)
+
+type tier = Spanner | Label | Cache
+
+val tier_name : tier -> string
+val tier_of_string : string -> tier option
+val pp_tier : Format.formatter -> tier -> unit
+
+type answer = { dist : float; tier : tier; cache_hit : bool }
+
+type cache_stats = { hits : int; misses : int; evictions : int; entries : int }
+
+type t
+
+(** [create artifact] readies all three tiers: builds the H edge mask,
+    roots the SLT and labels it. [cache_capacity] bounds the number of
+    cached single-source arrays (default 64).
+    @raise Invalid_argument if the capacity is < 1 or the artifact's
+    SLT does not span its graph. *)
+val create : ?cache_capacity:int -> Artifact.t -> t
+
+val artifact : t -> Artifact.t
+val labels : t -> Labels.t
+
+(** [query t ~tier u v] answers one distance query on the chosen
+    tier. *)
+val query : t -> tier:tier -> int -> int -> answer
+
+(** The full SLT tree path between two vertices (tier-B routing). *)
+val tree_route : t -> src:int -> dst:int -> int list
+
+(** [spanner_sssp t src] is the tier-A distance array from [src]
+    (used by the certifier and benchmarks). *)
+val spanner_sssp : t -> int -> float array
+
+val cache_stats : t -> cache_stats
+val reset_cache_stats : t -> unit

@@ -1,0 +1,156 @@
+module Graph = Ln_graph.Graph
+module Paths = Ln_graph.Paths
+module Monitor = Ln_congest.Monitor
+
+type latency = { p50_us : float; p90_us : float; p99_us : float; max_us : float }
+
+type outcome = {
+  tier : Oracle.tier;
+  queries : int;
+  wall_s : float;
+  qps : float;
+  latency : latency;
+  cache : Oracle.cache_stats; (* deltas over this batch *)
+  checksum : float; (* sum of answered distances: a replay invariant *)
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let k = int_of_float (Float.ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (k - 1)))
+  end
+
+let run oracle ~tier pairs =
+  let count = Array.length pairs in
+  let lat = Array.make count 0.0 in
+  let before = Oracle.cache_stats oracle in
+  let checksum = ref 0.0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to count - 1 do
+    let u, v = pairs.(i) in
+    let q0 = Unix.gettimeofday () in
+    let ans = Oracle.query oracle ~tier u v in
+    lat.(i) <- 1e6 *. (Unix.gettimeofday () -. q0);
+    checksum := !checksum +. ans.Oracle.dist
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let after = Oracle.cache_stats oracle in
+  Array.sort Float.compare lat;
+  {
+    tier;
+    queries = count;
+    wall_s;
+    qps = (if wall_s > 0.0 then float_of_int count /. wall_s else 0.0);
+    latency =
+      {
+        p50_us = percentile lat 0.50;
+        p90_us = percentile lat 0.90;
+        p99_us = percentile lat 0.99;
+        max_us = (if count = 0 then 0.0 else lat.(count - 1));
+      };
+    cache =
+      {
+        Oracle.hits = after.Oracle.hits - before.Oracle.hits;
+        misses = after.Oracle.misses - before.Oracle.misses;
+        evictions = after.Oracle.evictions - before.Oracle.evictions;
+        entries = after.Oracle.entries;
+      };
+    checksum = !checksum;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "tier %s: %d queries in %.3fs (%.0f qps); latency us p50 %.1f p90 %.1f p99 %.1f max %.1f"
+    (Oracle.tier_name o.tier) o.queries o.wall_s o.qps o.latency.p50_us
+    o.latency.p90_us o.latency.p99_us o.latency.max_us;
+  if o.cache.Oracle.hits + o.cache.Oracle.misses > 0 then
+    Format.fprintf ppf "; cache %d/%d hits (%d evictions)"
+      o.cache.Oracle.hits
+      (o.cache.Oracle.hits + o.cache.Oracle.misses)
+      o.cache.Oracle.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Stretch certification. *)
+
+type certificate = {
+  report : Monitor.report;
+  sampled : int;
+  sources : int; (* distinct sources -> exact Dijkstras on G replayed *)
+  max_stretch : float;
+  violations : int;
+  bound : float;
+}
+
+(* Replay a sample of answers against exact distances on the source
+   graph G. Grouping the sample by source amortises the ground truth:
+   one full Dijkstra on G per distinct source. An answer below the
+   true distance is impossible for any tier (all tiers answer with
+   path lengths in G), so it is reported as [Wrong] evidence of a
+   corrupt artifact, as is any answer above [bound] times the truth. *)
+let certify ?sample oracle ~tier ~bound pairs =
+  let pairs =
+    match sample with
+    | Some k when k < Array.length pairs -> Array.sub pairs 0 k
+    | _ -> Array.copy pairs
+  in
+  Array.sort compare pairs;
+  let g = (Oracle.artifact oracle).Artifact.graph in
+  let eps = 1e-9 in
+  let max_stretch = ref 1.0 in
+  let violations = ref 0 in
+  let first_bad = ref None in
+  let sources = ref 0 in
+  let exact = ref [||] in
+  let current_src = ref (-1) in
+  Array.iter
+    (fun (u, v) ->
+      if u <> !current_src then begin
+        current_src := u;
+        incr sources;
+        exact := (Paths.dijkstra g u).Paths.dist
+      end;
+      let truth = !exact.(v) in
+      let got = (Oracle.query oracle ~tier u v).Oracle.dist in
+      let stretch = if truth > 0.0 then got /. truth else 1.0 in
+      if stretch > !max_stretch then max_stretch := stretch;
+      let bad =
+        got < truth *. (1.0 -. eps) || got > truth *. bound *. (1.0 +. eps)
+      in
+      if bad then begin
+        incr violations;
+        if !first_bad = None then first_bad := Some (u, v, truth, got)
+      end)
+    pairs;
+  let report =
+    match !first_bad with
+    | None ->
+      {
+        Monitor.verdict = Monitor.Correct;
+        detail =
+          Printf.sprintf
+            "%d sampled answers within stretch %.2f (max observed %.3f)"
+            (Array.length pairs) bound !max_stretch;
+      }
+    | Some (u, v, truth, got) ->
+      {
+        Monitor.verdict = Monitor.Wrong;
+        detail =
+          Printf.sprintf
+            "%d of %d answers violate stretch %.2f; e.g. (%d,%d): answered %.6g, exact %.6g"
+            !violations (Array.length pairs) bound u v got truth;
+      }
+  in
+  {
+    report;
+    sampled = Array.length pairs;
+    sources = !sources;
+    max_stretch = !max_stretch;
+    violations = !violations;
+    bound;
+  }
+
+let pp_certificate ppf c =
+  Format.fprintf ppf "%a [%d pairs, %d exact SSSPs, max stretch %.3f <= %.2f]"
+    Monitor.pp c.report c.sampled c.sources c.max_stretch c.bound

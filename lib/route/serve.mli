@@ -1,0 +1,51 @@
+(** Batch serving driver and stretch certifier.
+
+    {!run} pushes a workload through one oracle tier and reports
+    throughput, latency percentiles, the cache counter deltas and a
+    checksum of the answered distances (a cheap replay invariant:
+    same artifact + workload + tier must reproduce it bit-for-bit).
+
+    {!certify} replays a sample of answers against exact Dijkstra
+    distances on the source graph G and renders a verdict in
+    {!Ln_congest.Monitor}'s vocabulary: {!Ln_congest.Monitor.Correct}
+    when every sampled answer is within the configured stretch bound,
+    {!Ln_congest.Monitor.Wrong} (with the first counter-example)
+    otherwise. Ground truth is amortised by grouping the sample per
+    source — one exact SSSP per distinct source. *)
+
+type latency = { p50_us : float; p90_us : float; p99_us : float; max_us : float }
+
+type outcome = {
+  tier : Oracle.tier;
+  queries : int;
+  wall_s : float;
+  qps : float;
+  latency : latency;
+  cache : Oracle.cache_stats;  (** counter deltas over this batch *)
+  checksum : float;  (** sum of answered distances *)
+}
+
+val run : Oracle.t -> tier:Oracle.tier -> (int * int) array -> outcome
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type certificate = {
+  report : Ln_congest.Monitor.report;
+  sampled : int;
+  sources : int;  (** distinct sources (exact SSSPs replayed) *)
+  max_stretch : float;
+  violations : int;
+  bound : float;
+}
+
+(** [certify oracle ~tier ~bound pairs] replays [pairs] (the first
+    [sample] of them if given) and certifies every answer against
+    [bound] times the exact G-distance. *)
+val certify :
+  ?sample:int ->
+  Oracle.t ->
+  tier:Oracle.tier ->
+  bound:float ->
+  (int * int) array ->
+  certificate
+
+val pp_certificate : Format.formatter -> certificate -> unit

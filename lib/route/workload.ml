@@ -1,0 +1,90 @@
+module Graph = Ln_graph.Graph
+module Paths = Ln_graph.Paths
+module Gen = Ln_graph.Gen
+
+type spec =
+  | Uniform
+  | Zipf of float (* skew exponent over a permuted source ranking *)
+  | Local of int (* BFS-local pairs within this many hops *)
+
+let describe = function
+  | Uniform -> "uniform"
+  | Zipf s -> Printf.sprintf "zipf(s=%.2f)" s
+  | Local r -> Printf.sprintf "local(hops<=%d)" r
+
+(* "uniform" | "zipf" | "zipf:S" | "local" | "local:R" *)
+let parse spec =
+  let name, arg =
+    match String.index_opt spec ':' with
+    | None -> (spec, None)
+    | Some i ->
+      ( String.sub spec 0 i,
+        Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+  in
+  match (name, arg) with
+  | "uniform", None -> Some Uniform
+  | "zipf", None -> Some (Zipf 1.1)
+  | "zipf", Some s -> Option.map (fun s -> Zipf s) (float_of_string_opt s)
+  | "local", None -> Some (Local 3)
+  | "local", Some r -> Option.map (fun r -> Local r) (int_of_string_opt r)
+  | _ -> None
+
+(* Fisher–Yates permutation: Zipf ranks are mapped through it so the
+   hot sources are scattered over the vertex set instead of clustering
+   at the low vertex ids the generators favour structurally. *)
+let permutation rng n =
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- tmp
+  done;
+  p
+
+let other_than rng n v =
+  let u = ref (Random.State.int rng n) in
+  while !u = v do
+    u := Random.State.int rng n
+  done;
+  !u
+
+let generate ?(seed = 0) g spec ~count =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Workload.generate: need at least two vertices";
+  if count < 0 then invalid_arg "Workload.generate: negative count";
+  let rng = Random.State.make [| seed; 0x90a7e |] in
+  match spec with
+  | Uniform ->
+    Array.init count (fun _ ->
+        let u = Random.State.int rng n in
+        (u, other_than rng n u))
+  | Zipf s ->
+    let rank = Gen.zipf_sampler rng ~s ~n in
+    let perm = permutation rng n in
+    Array.init count (fun _ ->
+        let u = perm.(rank ()) in
+        (u, other_than rng n u))
+  | Local radius ->
+    if radius < 1 then invalid_arg "Workload.generate: local radius < 1";
+    (* Memoised per-source neighbourhoods: repeated sources (there are
+       at most n distinct ones) cost one BFS each, not one per query. *)
+    let near = Hashtbl.create 64 in
+    let neighbourhood u =
+      match Hashtbl.find_opt near u with
+      | Some vs -> vs
+      | None ->
+        let hops = Paths.bfs_hops g u in
+        let vs = ref [] in
+        for v = n - 1 downto 0 do
+          if v <> u && hops.(v) >= 1 && hops.(v) <= radius then vs := v :: !vs
+        done;
+        let vs = Array.of_list !vs in
+        Hashtbl.replace near u vs;
+        vs
+    in
+    Array.init count (fun _ ->
+        let u = Random.State.int rng n in
+        let vs = neighbourhood u in
+        if Array.length vs = 0 then (u, other_than rng n u)
+        else (u, vs.(Random.State.int rng (Array.length vs))))

@@ -1,0 +1,28 @@
+(** Deterministic query-workload generators for the serving layer.
+
+    Three shapes, all seeded (never [Random.self_init]), so a
+    workload is replayable from its (spec, seed, count) triple:
+
+    - {!Uniform}: source and destination uniform, distinct;
+    - {!Zipf}: sources Zipf-skewed with exponent [s] over a seeded
+      permutation of the vertices (a scattered hot set — the shape
+      that exercises the oracle's source cache), destination uniform;
+    - {!Local}: destination uniform within a bounded BFS
+      neighbourhood of the source (short-haul traffic). *)
+
+type spec =
+  | Uniform
+  | Zipf of float  (** skew exponent [s] *)
+  | Local of int  (** hop radius *)
+
+val describe : spec -> string
+
+(** Parse a CLI spec: ["uniform"], ["zipf"], ["zipf:1.4"], ["local"],
+    ["local:2"]. Defaults: [s = 1.1], radius 3. *)
+val parse : string -> spec option
+
+(** [generate g spec ~count] is an array of [count] (source,
+    destination) pairs with both endpoints in [g] and source <>
+    destination. *)
+val generate :
+  ?seed:int -> Ln_graph.Graph.t -> spec -> count:int -> (int * int) array

@@ -436,6 +436,44 @@ let prop_geometric_weights_are_distances =
           acc && Float.abs (Float.sqrt ((dx *. dx) +. (dy *. dy)) -. e.Graph.w) <= 1e-9)
         true)
 
+(* The Zipf sampler is pinned exactly on a fixed seed: the workload
+   generators and benches rely on replayability, so a silent change to
+   the CDF or the search would skew every committed number. *)
+let test_zipf_pinned () =
+  let rng = Random.State.make [| 0x21f; 9 |] in
+  let sample = Gen.zipf_sampler rng ~s:1.2 ~n:8 in
+  let counts = Array.make 8 0 in
+  for _ = 1 to 4000 do
+    let r = sample () in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check (array int))
+    "pinned zipf histogram (seed 0x21f;9, s=1.2, n=8, 4000 draws)"
+    [| 1742; 701; 491; 331; 259; 187; 161; 128 |]
+    counts;
+  (* And the shape holds: rank frequencies are non-increasing. *)
+  for r = 0 to 6 do
+    check (Printf.sprintf "count rank %d >= rank %d" r (r + 1)) true
+      (counts.(r) >= counts.(r + 1))
+  done
+
+let test_zipf_degenerate () =
+  (* s = 0 is uniform: every rank reachable, bounds respected. *)
+  let rng = Random.State.make [| 3; 3 |] in
+  let sample = Gen.zipf_sampler rng ~s:0.0 ~n:5 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    let r = sample () in
+    check "rank in range" true (r >= 0 && r < 5);
+    seen.(r) <- true
+  done;
+  check "uniform regime reaches every rank" true (Array.for_all Fun.id seen);
+  check_int "n=1 always rank 0" 0 (Gen.zipf (Random.State.make [| 1 |]) ~s:2.0 ~n:1);
+  check "rejects n=0" true
+    (match Gen.zipf rng ~s:1.0 ~n:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let prop_graph_io_roundtrip =
   QCheck2.Test.make ~name:"graph io roundtrip" ~count:15
     QCheck2.Gen.(pair (int_range 2 40) (int_range 0 5000))
@@ -512,6 +550,8 @@ let () =
           Alcotest.test_case "degenerate stats stay finite or pinned" `Quick
             test_stats_degenerate;
           Alcotest.test_case "metric props" `Quick test_metric_net_props;
+          Alcotest.test_case "zipf pinned histogram" `Quick test_zipf_pinned;
+          Alcotest.test_case "zipf degenerate" `Quick test_zipf_degenerate;
           qcheck prop_heavy_tailed_weights_in_range;
           qcheck prop_geometric_weights_are_distances;
         ] );
