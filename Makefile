@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-smoke trace-smoke par-smoke route-smoke oracle clean
+.PHONY: all build test bench bench-smoke chaos chaos-smoke trace-smoke par-smoke route-smoke oracle scale scale-smoke clean
 
 all: build
 
@@ -52,6 +52,17 @@ route-smoke:
 # Dijkstra speedup and a certified max stretch. Writes BENCH_oracle.json.
 oracle:
 	dune exec bench/oracle_bench.exe
+
+# Graph500-scale substrate gate at RMAT scale 17 (n = 131072, ~1.9M
+# edges): streaming construction, BFS/TEPS, MST forest and artifact
+# round-trip under wall-clock + Gc heap ceilings (measured ~9.5s /
+# ~60 Mw; ceilings 60s / 3x heap). A smaller scale-14 version runs in
+# `dune runtest` via @scale-smoke.
+scale:
+	dune exec bench/scale_smoke.exe -- --scale 17 --max-seconds 60
+
+scale-smoke:
+	dune build @scale-smoke
 
 clean:
 	dune clean

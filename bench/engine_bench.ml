@@ -548,8 +548,10 @@ let run_chaos ~smoke =
           Json.Obj
             [
               ("mode", Json.Str (if smoke then "smoke" else "full"));
-              ("word_size", Json.Int Sys.word_size);
-              ("ocaml", Json.Str Sys.ocaml_version);
+              ("word_size", Json.Int Bench_env.word_size);
+              ("ocaml", Json.Str Bench_env.ocaml_version);
+              ("host_cores", Json.Int (Bench_env.cores ()));
+              ("peak_rss_kb", Json.Int (Bench_env.peak_rss_kb ()));
             ] );
         ( "fault_differential",
           Json.Obj
@@ -860,6 +862,214 @@ let run_telemetry_overhead ~n ~blocks ~reps =
         ])
 
 (* ------------------------------------------------------------------ *)
+(* Graph500-style RMAT section: the substrate numbers at n >= 10^6.
+
+   Three measurements on one seeded RMAT graph:
+   - per-phase build throughput: generator draws/s and streaming-
+     constructor edges/s (the `of_edge_arrays` path: validate, sort,
+     dedup, CSR fill);
+   - BFS TEPS over sampled degree>0 sources (traversed edges =
+     sum of degrees of reached vertices / 2, harmonic mean across
+     sources, the Graph500 convention);
+   - Dijkstra before/after: the same SSSP once against the deprecated
+     boxed tuple-array adjacency (`Graph.neighbors`, warmed before
+     timing so row materialization is excluded) and once through the
+     allocation-free `Graph.iter_neighbors` port in Paths — the
+     substrate speedup the CSR move is supposed to buy.
+
+   Peak memory is reported as Gc live/top-heap words right after the
+   build plus process peak RSS, the figures EXPERIMENTS.md's
+   memory-ceiling methodology is stated in. *)
+
+(* The "before" side of the Dijkstra comparison: the pre-CSR
+   [Paths.dijkstra_core] loop, verbatim — boxed tuple rows via
+   [Graph.neighbors], default [edge_ok] closure, a [Graph.weight] call
+   per edge, same [dist]/[parent_edge]/[source] outputs the ported code
+   produces. Lives here (not lib/) so the deprecated accessor keeps
+   exactly one in-tree caller — this benchmark. *)
+let dijkstra_legacy ?(bound = infinity) ?(edge_ok = fun _ -> true) g src =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let parent_edge = Array.make n (-1) in
+  let source = Array.make n (-1) in
+  let settled = Array.make n false in
+  let q = Pqueue.create () in
+  dist.(src) <- 0.0;
+  source.(src) <- src;
+  Pqueue.push q 0.0 src;
+  let rec loop () =
+    if not (Pqueue.is_empty q) then begin
+      let d, v = Pqueue.pop_min q in
+      if not settled.(v) then begin
+        settled.(v) <- true;
+        if d <= bound then
+          Array.iter
+            (fun (id, u) ->
+              if edge_ok id && not settled.(u) then begin
+                let nd = d +. Graph.weight g id in
+                if nd < dist.(u) && nd <= bound then begin
+                  dist.(u) <- nd;
+                  parent_edge.(u) <- id;
+                  source.(u) <- source.(v);
+                  Pqueue.push q nd u
+                end
+              end)
+            (Graph.neighbors g v)
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  ignore parent_edge;
+  dist
+
+let run_rmat ~smoke =
+  let scale = if smoke then 12 else 20 in
+  let edge_factor = 16 in
+  let teps_sources = if smoke then 8 else 64 in
+  let n = 1 lsl scale in
+  let drawn = edge_factor * n in
+  Printf.printf "rmat: scale=%d edge_factor=%d (n=%d, %d draws)\n%!" scale
+    edge_factor n drawn;
+  let rng = Random.State.make [| 0x9a7500; scale |] in
+  let t0 = Unix.gettimeofday () in
+  let us, vs, ws = Gen.rmat_edges rng ~scale ~edge_factor () in
+  let t_gen = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let g = Graph.of_edge_arrays ~n us vs ws in
+  let t_build = Unix.gettimeofday () -. t0 in
+  let m = Graph.m g in
+  let live_after_build, top_after_build = Bench_env.heap_words () in
+  Printf.printf
+    "  gen %.2fs (%.3g draws/s)  build %.2fs (%.3g edges/s)  m=%d  live %.1f Mw\n%!"
+    t_gen
+    (float_of_int drawn /. t_gen)
+    t_build
+    (float_of_int drawn /. t_build)
+    m
+    (float_of_int live_after_build /. 1e6);
+  (* TEPS: harmonic mean over sources = total edges / total time. *)
+  let teps_runs = ref [] in
+  let done_ = ref 0 and tries = ref 0 in
+  while !done_ < teps_sources && !tries < 100 * teps_sources do
+    incr tries;
+    let s = Random.State.int rng n in
+    if Graph.degree g s > 0 then begin
+      let t0 = Unix.gettimeofday () in
+      let dist = Paths.bfs_hops g s in
+      let dt = Unix.gettimeofday () -. t0 in
+      let e = ref 0 in
+      for v = 0 to n - 1 do
+        if dist.(v) >= 0 then e := !e + Graph.degree g v
+      done;
+      teps_runs := (float_of_int !e /. 2.0, dt) :: !teps_runs;
+      incr done_
+    end
+  done;
+  let total_edges = List.fold_left (fun a (e, _) -> a +. e) 0.0 !teps_runs in
+  let total_time = List.fold_left (fun a (_, t) -> a +. t) 0.0 !teps_runs in
+  let teps_harmonic = if total_time > 0.0 then total_edges /. total_time else 0.0 in
+  Printf.printf "  bfs: %d sources, %.3g TEPS (harmonic mean)\n%!" !done_
+    teps_harmonic;
+  (* Dijkstra before/after on the same graph: the pre-CSR loop
+     (dijkstra_legacy above) against today's [Paths.dijkstra]. Order
+     matters for fairness — the CSR side runs first, against the fresh
+     flat-only heap, then the tuple rows are forced (the old
+     representation always carried them) and the legacy side runs on
+     its steady state. [Gc.compact] before every timed rep keeps GC
+     phase noise out of the best-of; sum of per-source bests is
+     reported so both sides cover the same work. *)
+  let dijkstra_sources =
+    let rec pick acc k =
+      if k = 0 then acc
+      else
+        let s = Random.State.int rng n in
+        if Graph.degree g s > 0 then pick (s :: acc) (k - 1) else pick acc k
+    in
+    pick [] 3
+  in
+  let time_sum f =
+    let total = ref 0.0 in
+    List.iter
+      (fun s ->
+        let best = ref infinity in
+        for _ = 1 to 4 do
+          Gc.compact ();
+          let t0 = Unix.gettimeofday () in
+          ignore (f g s);
+          let dt = Unix.gettimeofday () -. t0 in
+          if dt < !best then best := dt
+        done;
+        total := !total +. !best)
+      dijkstra_sources;
+    !total
+  in
+  let t_csr = time_sum (fun g s -> (Paths.dijkstra g s).Paths.dist) in
+  for v = 0 to n - 1 do
+    ignore (Graph.neighbors g v)
+  done;
+  let t_tuple = time_sum dijkstra_legacy in
+  let speedup = t_tuple /. t_csr in
+  Printf.printf
+    "  dijkstra: legacy tuple-array %.3fs  csr %.3fs  speedup %.2fx\n%!"
+    t_tuple t_csr speedup;
+  let live_end, top_end = Bench_env.heap_words () in
+  Json.Obj
+    [
+      ("scale", Json.Int scale);
+      ("edge_factor", Json.Int edge_factor);
+      ("n", Json.Int n);
+      ("edges_drawn", Json.Int drawn);
+      ("m", Json.Int m);
+      ( "build",
+        Json.Obj
+          [
+            ("gen_seconds", Json.Float t_gen);
+            ("gen_draws_per_sec", Json.Float (float_of_int drawn /. t_gen));
+            ("csr_seconds", Json.Float t_build);
+            ("csr_edges_per_sec", Json.Float (float_of_int drawn /. t_build));
+          ] );
+      ( "bfs_teps",
+        Json.Obj
+          [
+            ("sources", Json.Int !done_);
+            ("teps_harmonic_mean", Json.Float teps_harmonic);
+            ("traversed_edges_total", Json.Float total_edges);
+            ("seconds_total", Json.Float total_time);
+          ] );
+      ( "dijkstra_before_after",
+        Json.Obj
+          [
+            ("sources", Json.Int (List.length dijkstra_sources));
+            ("legacy_tuple_array_seconds", Json.Float t_tuple);
+            ("csr_seconds", Json.Float t_csr);
+            ("speedup", Json.Float speedup);
+          ] );
+      ( "memory",
+        Json.Obj
+          [
+            ("live_words_after_build", Json.Int live_after_build);
+            ("top_heap_words_after_build", Json.Int top_after_build);
+            ("live_words_end", Json.Int live_end);
+            ("top_heap_words_end", Json.Int top_end);
+            ("peak_rss_kb", Json.Int (Bench_env.peak_rss_kb ()));
+          ] );
+    ]
+
+(* Host facts every BENCH_*.json header carries (PR 6 bench hygiene):
+   single-core numbers are meaningless later without the core count,
+   and peak RSS anchors the memory-ceiling methodology. *)
+let meta_json ~mode =
+  Json.Obj
+    [
+      ("mode", Json.Str mode);
+      ("word_size", Json.Int Bench_env.word_size);
+      ("ocaml", Json.Str Bench_env.ocaml_version);
+      ("host_cores", Json.Int (Bench_env.cores ()));
+      ("peak_rss_kb", Json.Int (Bench_env.peak_rss_kb ()));
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Array.iteri
@@ -906,16 +1116,11 @@ let () =
       ~domains:scaling_domains
   in
   let telemetry = run_telemetry_overhead ~n:headline_n ~blocks ~reps in
+  let rmat = if headline_only then Json.Obj [] else run_rmat ~smoke in
   let json =
     Json.Obj
       [
-        ( "meta",
-          Json.Obj
-            [
-              ("mode", Json.Str (if smoke then "smoke" else "full"));
-              ("word_size", Json.Int Sys.word_size);
-              ("ocaml", Json.Str Sys.ocaml_version);
-            ] );
+        ("meta", meta_json ~mode:(if smoke then "smoke" else "full"));
         ( "differential",
           Json.Obj
             [
@@ -925,6 +1130,7 @@ let () =
             ] );
         ("workloads", Json.List suite);
         ("headline", headline);
+        ("rmat", rmat);
         ("scaling", scaling);
         ("telemetry_overhead", telemetry);
       ]

@@ -259,11 +259,73 @@ let () =
     (Array.length pairs_fast) label_agree;
   if not label_agree then failwith "label distances disagree with Tree.dist";
 
+  (* 5. RMAT serving section: the same artifact + tier pipeline on a
+     Graph500-style input (heavy-tailed degrees, the shape the scaled
+     substrate targets) instead of the doubling geometric graph. The
+     RMAT draw is made connected so the MST is a spanning tree usable
+     as both the artifact's SLT and (trivially) its spanner; certifier
+     runs are skipped — this section is about build + serving
+     throughput on the skewed topology, not stretch quality. *)
+  let rmat_scale = if smoke then 10 else 13 in
+  let rmat_json =
+    let rng = Random.State.make [| seed; 0x9a75 |] in
+    let (g_r, gen_s) =
+      time (fun () ->
+          Gen.ensure_connected rng (Gen.rmat rng ~scale:rmat_scale ~edge_factor:8 ()))
+    in
+    let mst, mst_s = time (fun () -> Mst_seq.kruskal g_r) in
+    let art_r, make_s =
+      time (fun () ->
+          Artifact.make ~graph:g_r ~slt_root:0 ~spanner_stretch:infinity
+            ~spanner_edges:mst ~slt_edges:mst ~mst_edges:mst
+            ~params:[ ("bench", "oracle-rmat"); ("scale", string_of_int rmat_scale) ]
+            ())
+    in
+    let path = Filename.temp_file "lightnet_oracle_rmat" ".artifact" in
+    let (), save_s = time (fun () -> Artifact.save path art_r) in
+    let loaded_r, load_s = time (fun () -> Artifact.load path) in
+    let size_bytes = (Unix.stat path).Unix.st_size in
+    Sys.remove path;
+    let oracle_r = Oracle.create ~cache_capacity:64 loaded_r in
+    let pairs =
+      Workload.generate ~seed g_r (Workload.Zipf 1.1) ~count:(q_dijkstra / 2)
+    in
+    let o_label = Serve.run oracle_r ~tier:Oracle.Label pairs in
+    let o_spanner = Serve.run oracle_r ~tier:Oracle.Spanner pairs in
+    Printf.printf
+      "rmat serving: scale=%d n=%d m=%d gen %.2fs mst %.2fs artifact %.2fs+%.4fs+%.4fs | label %.0f qps, tree-dijkstra %.0f qps\n%!"
+      rmat_scale (Graph.n g_r) (Graph.m g_r) gen_s mst_s make_s save_s load_s
+      o_label.Serve.qps o_spanner.Serve.qps;
+    Json.Obj
+      [
+        ("scale", Json.Int rmat_scale);
+        ("edge_factor", Json.Int 8);
+        ("n", Json.Int (Graph.n g_r));
+        ("m", Json.Int (Graph.m g_r));
+        ("gen_s", Json.Float gen_s);
+        ("mst_s", Json.Float mst_s);
+        ("artifact_make_s", Json.Float make_s);
+        ("artifact_save_s", Json.Float save_s);
+        ("artifact_load_s", Json.Float load_s);
+        ("artifact_size_bytes", Json.Int size_bytes);
+        ("label", outcome_json o_label);
+        ("spanner_dijkstra", outcome_json o_spanner);
+      ]
+  in
+
   let json =
     Json.Obj
       [
         ("bench", Json.Str "route-oracle");
         ("mode", Json.Str (if smoke then "smoke" else "full"));
+        ( "meta",
+          Json.Obj
+            [
+              ("word_size", Json.Int Bench_env.word_size);
+              ("ocaml", Json.Str Bench_env.ocaml_version);
+              ("host_cores", Json.Int (Bench_env.cores ()));
+              ("peak_rss_kb", Json.Int (Bench_env.peak_rss_kb ()));
+            ] );
         ( "graph",
           Json.Obj
             [
@@ -295,6 +357,7 @@ let () =
               ("cache_vs_dijkstra_speedup", Json.Float cache_speedup);
             ] );
         ("cache_sweep", Json.Obj sweep);
+        ("rmat", rmat_json);
         ( "certification",
           Json.Obj
             [

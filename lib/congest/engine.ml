@@ -12,6 +12,19 @@ type ctx = {
 type 'm received = { from : int; edge : int; payload : 'm }
 type 'm send = { via : int; msg : 'm }
 
+(* The public ctx exposes the historical tuple-array neighbor view.
+   Build it once per node from the graph's flat CSR columns; the
+   per-round hot loops below index these arrays and never touch the
+   graph again. *)
+let ctx_neighbors g v =
+  let deg = Graph.degree g v in
+  let a = Array.make deg (-1, -1) in
+  let i = ref 0 in
+  Graph.iter_neighbors g v (fun id u ->
+      a.(!i) <- (id, u);
+      incr i);
+  a
+
 type ('s, 'm) program = {
   name : string;
   words : 'm -> int;
@@ -275,7 +288,7 @@ let run_reference ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
   let t0 = Unix.gettimeofday () in
   let n = Graph.n g in
   let ctx_of v =
-    { n; me = v; neighbors = Graph.neighbors g v; weight = Graph.weight g }
+    { n; me = v; neighbors = ctx_neighbors g v; weight = Graph.weight g }
   in
   let ctxs = Array.init n ctx_of in
   let active = Array.make n true in
@@ -558,7 +571,7 @@ let make_scratch g =
     ev;
     ctxs =
       Array.init n (fun v ->
-          { n; me = v; neighbors = Graph.neighbors g v; weight = wf });
+          { n; me = v; neighbors = ctx_neighbors g v; weight = wf });
     s_active = Array.make (max n 1) true;
     s_queued = Array.make (max n 1) false;
     sent_round = Array.make (max 1 (2 * m)) (-1);

@@ -29,8 +29,7 @@ let surviving_hops g plan ~root =
     Queue.add root q;
     while not (Queue.is_empty q) do
       let u = Queue.pop q in
-      Array.iter
-        (fun (e, v) ->
+      Graph.iter_neighbors g u (fun e v ->
           if
             dist.(v) < 0
             && Fault.surviving_edge plan e
@@ -39,7 +38,6 @@ let surviving_hops g plan ~root =
             dist.(v) <- dist.(u) + 1;
             Queue.add v q
           end)
-        (Graph.neighbors g u)
     done
   end;
   dist

@@ -166,6 +166,63 @@ let zipf_sampler rng ~s ~n =
 
 let zipf rng ~s ~n = zipf_sampler rng ~s ~n ()
 
+(* Graph500-style RMAT (Kronecker) edge stream. Each of the
+   [edge_factor * 2^scale] directed draws recursively descends [scale]
+   levels of the adjacency-matrix quadrant tree; quadrant probabilities
+   start at the Graph500 reference (a,b,c,d) = (0.57, 0.19, 0.19, 0.05)
+   and are re-perturbed with multiplicative noise at every level, which
+   breaks the pure-Kronecker self-similarity artifacts (stair-step
+   degree plateaus) the same way the reference implementations do.
+   Emits straight into parallel endpoint/weight columns sized for
+   [Graph.of_edge_arrays]; no per-edge boxing. Self-loops and parallel
+   edges survive here — the CSR builder drops/collapses them, which is
+   why [Graph.m] of the result is somewhat below [edge_factor * n]. *)
+let rmat_edges rng ~scale ~edge_factor ?(a = 0.57) ?(b = 0.19) ?(c = 0.19)
+    ?(noise = 0.1) ?(w_lo = 1.0) ?(w_hi = 100.0) () =
+  if scale < 1 || scale > 30 then invalid_arg "Gen.rmat_edges: scale out of range";
+  if edge_factor < 1 then invalid_arg "Gen.rmat_edges: edge_factor < 1";
+  let d = 1.0 -. (a +. b +. c) in
+  if a <= 0.0 || b <= 0.0 || c <= 0.0 || d <= 0.0 then
+    invalid_arg "Gen.rmat_edges: quadrant probabilities must be positive";
+  let n = 1 lsl scale in
+  let m = edge_factor * n in
+  let us = Array.make m 0 in
+  let vs = Array.make m 0 in
+  let ws = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    let u = ref 0 and v = ref 0 in
+    let pa = ref a and pb = ref b and pc = ref c and pd = ref d in
+    for bit = scale - 1 downto 0 do
+      let x = Random.State.float rng 1.0 in
+      if x < !pa then ()
+      else if x < !pa +. !pb then v := !v lor (1 lsl bit)
+      else if x < !pa +. !pb +. !pc then u := !u lor (1 lsl bit)
+      else begin
+        u := !u lor (1 lsl bit);
+        v := !v lor (1 lsl bit)
+      end;
+      (* Multiplicative noise on each quadrant probability, then
+         renormalize, so deeper levels drift away from the seed matrix. *)
+      if noise > 0.0 then begin
+        let perturb p = p *. (1.0 -. noise +. (2.0 *. noise *. Random.State.float rng 1.0)) in
+        let a' = perturb !pa and b' = perturb !pb and c' = perturb !pc and d' = perturb !pd in
+        let s = a' +. b' +. c' +. d' in
+        pa := a' /. s;
+        pb := b' /. s;
+        pc := c' /. s;
+        pd := d' /. s
+      end
+    done;
+    us.(i) <- !u;
+    vs.(i) <- !v;
+    ws.(i) <- uniform rng w_lo w_hi
+  done;
+  (us, vs, ws)
+
+let rmat rng ~scale ~edge_factor ?a ?b ?c ?noise ?w_lo ?w_hi () =
+  let us, vs, ws = rmat_edges rng ~scale ~edge_factor ?a ?b ?c ?noise ?w_lo ?w_hi () in
+  Graph.of_edge_arrays ~n:(1 lsl scale) us vs ws
+
 let clustered rng ~clusters ~size ~p_in ~p_out () =
   let n = clusters * size in
   let edges = ref [] in

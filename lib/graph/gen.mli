@@ -57,6 +57,49 @@ val zipf_sampler : rng -> s:float -> n:int -> unit -> int
     sampler in loops). *)
 val zipf : rng -> s:float -> n:int -> int
 
+(** [rmat_edges rng ~scale ~edge_factor ()] draws a Graph500-style RMAT
+    edge stream as parallel endpoint/weight columns ready for
+    {!Graph.of_edge_arrays}: [edge_factor * 2^scale] draws over
+    [2^scale] vertices, quadrant probabilities starting at
+    [(a, b, c, 1-a-b-c)] (defaults [(0.57, 0.19, 0.19, 0.05)], the
+    Graph500 reference matrix) and re-perturbed per level with
+    multiplicative [noise] (default 0.1; 0 disables). Weights are
+    i.i.d. uniform in [[w_lo, w_hi]] (defaults 1 and 100). Self-loops
+    and duplicate draws are left in the stream — the graph constructor
+    drops/collapses them. Deterministic for a fixed rng state; the
+    result is generally NOT connected (Graph500 BFS keys handle
+    per-component reachability).
+    @raise Invalid_argument if [scale] is outside [[1, 30]],
+    [edge_factor < 1], or any quadrant probability is non-positive. *)
+val rmat_edges :
+  rng ->
+  scale:int ->
+  edge_factor:int ->
+  ?a:float ->
+  ?b:float ->
+  ?c:float ->
+  ?noise:float ->
+  ?w_lo:float ->
+  ?w_hi:float ->
+  unit ->
+  int array * int array * float array
+
+(** [rmat rng ~scale ~edge_factor ()] is {!rmat_edges} piped through
+    {!Graph.of_edge_arrays} — the resulting simple graph has
+    [n = 2^scale] and [m] a little under [edge_factor * n]. *)
+val rmat :
+  rng ->
+  scale:int ->
+  edge_factor:int ->
+  ?a:float ->
+  ?b:float ->
+  ?c:float ->
+  ?noise:float ->
+  ?w_lo:float ->
+  ?w_hi:float ->
+  unit ->
+  Graph.t
+
 (** [ensure_connected rng g] adds minimum-count random inter-component
     edges (with weights at the top of [g]'s weight range) until [g] is
     connected. Identity on connected graphs. *)

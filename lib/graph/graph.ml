@@ -1,108 +1,300 @@
 type edge = { u : int; v : int; w : float }
 
+(* Flat CSR core. Edges are columnar: [eu]/[ev] hold the endpoints
+   (normalized so [eu.(id) < ev.(id)]) and [ew] the weight, all indexed
+   by edge id. Incidence is packed: vertex [v]'s incident edges live at
+   positions [off.(v) .. off.(v+1)-1] of the parallel [adj_eid] /
+   [adj_dst] columns. Within a vertex, incidences are sorted by edge id
+   (the fill loop walks ids ascending), which is the same order the
+   historical tuple-array adjacency used — programs that depend on
+   neighbor order (the CONGEST engine's inbox chains, greedy
+   tie-breaks) see identical sequences.
+
+   [legacy] memoizes the deprecated per-vertex [(edge_id, neighbor)]
+   tuple arrays behind {!neighbors}; rows are built on first demand so
+   a graph whose consumers stick to the CSR iterators never pays the
+   boxed representation at all. *)
 type t = {
   n : int;
-  edges : edge array;
-  adj : (int * int) array array; (* vertex -> [(edge_id, neighbor)] *)
+  m : int;
+  eu : int array;
+  ev : int array;
+  ew : float array;
+  off : int array; (* length n+1 *)
+  adj_eid : int array; (* length 2m *)
+  adj_dst : int array; (* length 2m *)
+  mutable legacy : (int * int) array array;
 }
 
-let normalize_edge n e =
-  if e.u < 0 || e.u >= n || e.v < 0 || e.v >= n then
-    invalid_arg "Graph.create: endpoint out of range";
-  if e.w <= 0.0 || Float.is_nan e.w then
-    invalid_arg "Graph.create: weight must be positive and finite";
-  if e.u <= e.v then e else { u = e.v; v = e.u; w = e.w }
+(* Shared physical sentinel marking a legacy row as not-yet-built; a
+   degree-0 vertex's real row is a distinct (fresh) empty array. *)
+let unbuilt_row : (int * int) array = [| (min_int, min_int) |]
+
+(* ------------------------------------------------------------------ *)
+(* Construction.
+
+   [build_csr] is the one constructor everything funnels through. It
+   consumes parallel endpoint/weight arrays (no [edge] record list is
+   ever materialized), normalizes and validates each entry with the
+   same checks and error text the historical [create] used, drops
+   self-loops, sorts in place, and collapses parallel edges keeping the
+   lightest — all with O(m) ints of temporary storage. *)
+
+(* In-place quicksort of the parallel (key, weight) columns over
+   [0 .. len-1], ordered by key then weight. Median-of-three pivot,
+   insertion sort below 16, recurse on the smaller side first so stack
+   depth stays O(log len) even on adversarial inputs. *)
+let sort_key_weight key wt len =
+  let swap i j =
+    let k = key.(i) in
+    key.(i) <- key.(j);
+    key.(j) <- k;
+    let w = wt.(i) in
+    wt.(i) <- wt.(j);
+    wt.(j) <- w
+  in
+  let less i j = key.(i) < key.(j) || (key.(i) = key.(j) && wt.(i) < wt.(j)) in
+  let less_kw k w i = k < key.(i) || (k = key.(i) && w < wt.(i)) in
+  let rec qsort lo hi =
+    if hi - lo < 16 then begin
+      for i = lo + 1 to hi do
+        let k = key.(i) and w = wt.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && less_kw k w !j do
+          key.(!j + 1) <- key.(!j);
+          wt.(!j + 1) <- wt.(!j);
+          decr j
+        done;
+        key.(!j + 1) <- k;
+        wt.(!j + 1) <- w
+      done
+    end
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      if less mid lo then swap lo mid;
+      if less hi lo then swap lo hi;
+      if less hi mid then swap mid hi;
+      let pk = key.(mid) and pw = wt.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while key.(!i) < pk || (key.(!i) = pk && wt.(!i) < pw) do
+          incr i
+        done;
+        while pk < key.(!j) || (pk = key.(!j) && pw < wt.(!j)) do
+          decr j
+        done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      (* Smaller half first keeps the recursion logarithmic. *)
+      if !j - lo < hi - !i then begin
+        if lo < !j then qsort lo !j;
+        if !i < hi then qsort !i hi
+      end
+      else begin
+        if !i < hi then qsort !i hi;
+        if lo < !j then qsort lo !j
+      end
+    end
+  in
+  if len > 1 then qsort 0 (len - 1)
+
+let build_csr ~who ~n us vs ws ~len =
+  if n < 0 then invalid_arg (who ^ ": negative n");
+  if n > 0x3FFFFFFF then invalid_arg (who ^ ": n too large for packed keys");
+  (* Pass 1: validate, normalize (u < v), drop self-loops, pack each
+     surviving edge's endpoints into one int key = u*n + v. *)
+  let key = Array.make (max 1 len) 0 in
+  let wt = Array.make (max 1 len) 0.0 in
+  let k = ref 0 in
+  for i = 0 to len - 1 do
+    let u = us.(i) and v = vs.(i) and w = ws.(i) in
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg (who ^ ": endpoint out of range");
+    if w <= 0.0 || Float.is_nan w then
+      invalid_arg (who ^ ": weight must be positive and finite");
+    if u <> v then begin
+      let a, b = if u <= v then (u, v) else (v, u) in
+      key.(!k) <- (a * n) + b;
+      wt.(!k) <- w;
+      incr k
+    end
+  done;
+  let len = !k in
+  (* Pass 2: sort by (key, weight); equal keys are parallel edges and
+     the lightest sorts first, so the dedup scan keeps it. The result
+     is edge ids ordered by (u, v) — exactly the historical [create]
+     ordering, so ids are stable across the representation change. *)
+  sort_key_weight key wt len;
+  let m = ref 0 in
+  for i = 0 to len - 1 do
+    if i = 0 || key.(i) <> key.(i - 1) then begin
+      key.(!m) <- key.(i);
+      wt.(!m) <- wt.(i);
+      incr m
+    end
+  done;
+  let m = !m in
+  let eu = Array.make (max 1 m) 0 in
+  let ev = Array.make (max 1 m) 0 in
+  let ew = Array.make (max 1 m) 0.0 in
+  for id = 0 to m - 1 do
+    eu.(id) <- key.(id) / n;
+    ev.(id) <- key.(id) mod n;
+    ew.(id) <- wt.(id)
+  done;
+  (* Pass 3: counting sort into the packed incidence columns. Walking
+     ids ascending leaves each vertex's slice sorted by edge id. *)
+  let off = Array.make (n + 1) 0 in
+  for id = 0 to m - 1 do
+    off.(eu.(id) + 1) <- off.(eu.(id) + 1) + 1;
+    off.(ev.(id) + 1) <- off.(ev.(id) + 1) + 1
+  done;
+  for v = 1 to n do
+    off.(v) <- off.(v) + off.(v - 1)
+  done;
+  let adj_eid = Array.make (max 1 (2 * m)) 0 in
+  let adj_dst = Array.make (max 1 (2 * m)) 0 in
+  let cursor = Array.copy off in
+  for id = 0 to m - 1 do
+    let u = eu.(id) and v = ev.(id) in
+    adj_eid.(cursor.(u)) <- id;
+    adj_dst.(cursor.(u)) <- v;
+    cursor.(u) <- cursor.(u) + 1;
+    adj_eid.(cursor.(v)) <- id;
+    adj_dst.(cursor.(v)) <- u;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  { n; m; eu; ev; ew; off; adj_eid; adj_dst; legacy = [||] }
+
+let of_edge_arrays ~n ?len us vs ws =
+  let len =
+    match len with
+    | Some l ->
+      if l < 0 || l > Array.length us then
+        invalid_arg "Graph.of_edge_arrays: bad len";
+      l
+    | None -> Array.length us
+  in
+  if Array.length vs < len || Array.length ws < len then
+    invalid_arg "Graph.of_edge_arrays: endpoint/weight arrays shorter than len";
+  build_csr ~who:"Graph.of_edge_arrays" ~n us vs ws ~len
 
 let create n edge_list =
-  if n < 0 then invalid_arg "Graph.create: negative n";
-  (* Drop self-loops, collapse parallel edges keeping the lightest. *)
-  let tbl = Hashtbl.create (max 16 (List.length edge_list)) in
-  List.iter
-    (fun e ->
-      let e = normalize_edge n e in
-      if e.u <> e.v then begin
-        let key = (e.u, e.v) in
-        match Hashtbl.find_opt tbl key with
-        | Some w0 when w0 <= e.w -> ()
-        | _ -> Hashtbl.replace tbl key e.w
-      end)
+  let len = List.length edge_list in
+  let us = Array.make (max 1 len) 0 in
+  let vs = Array.make (max 1 len) 0 in
+  let ws = Array.make (max 1 len) 0.0 in
+  List.iteri
+    (fun i e ->
+      us.(i) <- e.u;
+      vs.(i) <- e.v;
+      ws.(i) <- e.w)
     edge_list;
-  let edges =
-    Hashtbl.fold (fun (u, v) w acc -> { u; v; w } :: acc) tbl []
-    |> List.sort (fun a b -> compare (a.u, a.v) (b.u, b.v))
-    |> Array.of_list
-  in
-  let deg = Array.make n 0 in
-  Array.iter
-    (fun e ->
-      deg.(e.u) <- deg.(e.u) + 1;
-      deg.(e.v) <- deg.(e.v) + 1)
-    edges;
-  let adj = Array.init n (fun v -> Array.make deg.(v) (-1, -1)) in
-  let fill = Array.make n 0 in
-  Array.iteri
-    (fun id e ->
-      adj.(e.u).(fill.(e.u)) <- (id, e.v);
-      fill.(e.u) <- fill.(e.u) + 1;
-      adj.(e.v).(fill.(e.v)) <- (id, e.u);
-      fill.(e.v) <- fill.(e.v) + 1)
-    edges;
-  { n; edges; adj }
+  build_csr ~who:"Graph.create" ~n us vs ws ~len
+
+(* ------------------------------------------------------------------ *)
+(* Accessors. *)
 
 let n g = g.n
-let m g = Array.length g.edges
-let edge g id = g.edges.(id)
-let weight g id = g.edges.(id).w
-
-let endpoints g id =
-  let e = g.edges.(id) in
-  (e.u, e.v)
+let m g = g.m
+let edge g id = { u = g.eu.(id); v = g.ev.(id); w = g.ew.(id) }
+let weight g id = g.ew.(id)
+let endpoints g id = (g.eu.(id), g.ev.(id))
 
 let other_end g id x =
-  let e = g.edges.(id) in
-  if e.u = x then e.v
-  else if e.v = x then e.u
+  if g.eu.(id) = x then g.ev.(id)
+  else if g.ev.(id) = x then g.eu.(id)
   else invalid_arg "Graph.other_end: vertex not an endpoint"
 
-let neighbors g v = g.adj.(v)
-let degree g v = Array.length g.adj.(v)
+let degree g v = g.off.(v + 1) - g.off.(v)
 
-let iter_edges g f = Array.iteri f g.edges
+let iter_neighbors g v f =
+  let eid = g.adj_eid and dst = g.adj_dst in
+  for i = g.off.(v) to g.off.(v + 1) - 1 do
+    f eid.(i) dst.(i)
+  done
+
+let fold_neighbors g v f acc =
+  let eid = g.adj_eid and dst = g.adj_dst in
+  let acc = ref acc in
+  for i = g.off.(v) to g.off.(v + 1) - 1 do
+    acc := f !acc eid.(i) dst.(i)
+  done;
+  !acc
+
+(* Deprecated tuple-array view, kept for API compatibility. Rows are
+   materialized from the CSR columns on first access and memoized per
+   vertex, so untouched vertices stay flat. Not for hot paths — use
+   {!iter_neighbors} / {!fold_neighbors}. *)
+let neighbors g v =
+  if Array.length g.legacy = 0 && g.n > 0 then
+    g.legacy <- Array.make g.n unbuilt_row;
+  if g.n = 0 then [||]
+  else begin
+    let row = g.legacy.(v) in
+    if row != unbuilt_row then row
+    else begin
+      let lo = g.off.(v) in
+      let built =
+        Array.init (degree g v) (fun i -> (g.adj_eid.(lo + i), g.adj_dst.(lo + i)))
+      in
+      g.legacy.(v) <- built;
+      built
+    end
+  end
+
+let iter_edges g f =
+  for id = 0 to g.m - 1 do
+    f id { u = g.eu.(id); v = g.ev.(id); w = g.ew.(id) }
+  done
 
 let fold_edges g f acc =
   let acc = ref acc in
-  Array.iteri (fun id e -> acc := f id e !acc) g.edges;
+  for id = 0 to g.m - 1 do
+    acc := f id { u = g.eu.(id); v = g.ev.(id); w = g.ew.(id) } !acc
+  done;
   !acc
 
 let find_edge g u v =
   let u, v = if degree g u <= degree g v then (u, v) else (v, u) in
-  let nbrs = g.adj.(u) in
+  let lo = g.off.(u) and hi = g.off.(u + 1) in
   let rec scan i =
-    if i >= Array.length nbrs then None
-    else
-      let id, w = nbrs.(i) in
-      if w = v then Some id else scan (i + 1)
+    if i >= hi then None
+    else if g.adj_dst.(i) = v then Some g.adj_eid.(i)
+    else scan (i + 1)
   in
-  scan 0
+  scan lo
 
-let total_weight g = Array.fold_left (fun acc e -> acc +. e.w) 0.0 g.edges
+let total_weight g =
+  let acc = ref 0.0 in
+  for id = 0 to g.m - 1 do
+    acc := !acc +. g.ew.(id)
+  done;
+  !acc
 
 let weight_of_edges g ids = List.fold_left (fun acc id -> acc +. weight g id) 0.0 ids
 
 let subgraph g ids =
   let ids = Array.of_list ids in
-  let sub = create g.n (Array.to_list (Array.map (fun id -> g.edges.(id)) ids)) in
-  (* [create] sorts and dedups; rebuild the id mapping by lookup. *)
-  let map = Hashtbl.create (Array.length ids) in
-  Array.iter
-    (fun id ->
-      let e = g.edges.(id) in
-      Hashtbl.replace map (e.u, e.v) id)
+  let k = Array.length ids in
+  let us = Array.make (max 1 k) 0 in
+  let vs = Array.make (max 1 k) 0 in
+  let ws = Array.make (max 1 k) 0.0 in
+  Array.iteri
+    (fun i id ->
+      us.(i) <- g.eu.(id);
+      vs.(i) <- g.ev.(id);
+      ws.(i) <- g.ew.(id))
     ids;
-  let original_id sub_id =
-    let e = sub.edges.(sub_id) in
-    Hashtbl.find map (e.u, e.v)
-  in
+  let sub = build_csr ~who:"Graph.create" ~n:g.n us vs ws ~len:k in
+  (* The builder sorts and dedups; rebuild the id mapping by lookup. *)
+  let map = Hashtbl.create (max 16 k) in
+  Array.iter (fun id -> Hashtbl.replace map (g.eu.(id), g.ev.(id)) id) ids;
+  let original_id sub_id = Hashtbl.find map (sub.eu.(sub_id), sub.ev.(sub_id)) in
   (sub, original_id)
 
 let components g =
@@ -115,13 +307,13 @@ let components g =
       comp.(s) <- !c;
       while not (Stack.is_empty stack) do
         let v = Stack.pop stack in
-        Array.iter
-          (fun (_, u) ->
-            if comp.(u) < 0 then begin
-              comp.(u) <- !c;
-              Stack.push u stack
-            end)
-          g.adj.(v)
+        for i = g.off.(v) to g.off.(v + 1) - 1 do
+          let u = g.adj_dst.(i) in
+          if comp.(u) < 0 then begin
+            comp.(u) <- !c;
+            Stack.push u stack
+          end
+        done
       done;
       incr c
     end
@@ -141,13 +333,14 @@ let bfs_hops g src =
   Queue.push src q;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    Array.iter
-      (fun (_, u) ->
-        if dist.(u) < 0 then begin
-          dist.(u) <- dist.(v) + 1;
-          Queue.push u q
-        end)
-      g.adj.(v)
+    let dv = dist.(v) in
+    for i = g.off.(v) to g.off.(v + 1) - 1 do
+      let u = g.adj_dst.(i) in
+      if dist.(u) < 0 then begin
+        dist.(u) <- dv + 1;
+        Queue.push u q
+      end
+    done
   done;
   dist
 
@@ -162,20 +355,33 @@ let hop_diameter g =
   !best
 
 let weight_aspect_ratio g =
-  if m g = 0 then 1.0
+  if g.m = 0 then 1.0
   else begin
     let lo = ref infinity and hi = ref 0.0 in
-    Array.iter
-      (fun e ->
-        if e.w < !lo then lo := e.w;
-        if e.w > !hi then hi := e.w)
-      g.edges;
+    for id = 0 to g.m - 1 do
+      let w = g.ew.(id) in
+      if w < !lo then lo := w;
+      if w > !hi then hi := w
+    done;
     !hi /. !lo
   end
 
 let compare_edges g a b =
-  let c = Float.compare g.edges.(a).w g.edges.(b).w in
+  let c = Float.compare g.ew.(a) g.ew.(b) in
   if c <> 0 then c else Int.compare a b
 
 let pp ppf g =
-  Format.fprintf ppf "graph(n=%d, m=%d, aspect=%.3g)" g.n (m g) (weight_aspect_ratio g)
+  Format.fprintf ppf "graph(n=%d, m=%d, aspect=%.3g)" g.n g.m
+    (weight_aspect_ratio g)
+
+(* Declared last: the field labels shadow [t]'s, and everything above
+   accesses [g.off] / [g.ew] etc. with [t] in scope. *)
+type view = {
+  off : int array;
+  adj_eid : int array;
+  adj_dst : int array;
+  ew : float array;
+}
+
+let view (g : t) : view =
+  { off = g.off; adj_eid = g.adj_eid; adj_dst = g.adj_dst; ew = g.ew }

@@ -5,7 +5,14 @@
     edge array, so a subgraph (spanner, tree, ...) is just a set of edge
     ids. Weights are strictly positive floats. Parallel edges are
     collapsed to the lightest one and self-loops dropped at construction
-    time, matching the paper's simple-graph setting. *)
+    time, matching the paper's simple-graph setting.
+
+    The representation is flat CSR (see DESIGN.md "Graph substrate"):
+    int-array offsets plus packed edge-id/neighbor columns and a flat
+    weight array. Hot loops should use {!iter_neighbors} /
+    {!fold_neighbors}, which traverse the packed columns without
+    allocating; {!neighbors} survives for API compatibility but builds
+    its boxed tuple rows lazily and must not appear on hot paths. *)
 
 type edge = { u : int; v : int; w : float }
 
@@ -15,6 +22,19 @@ type t
     dropped, parallel edges are collapsed keeping the minimum weight.
     @raise Invalid_argument on out-of-range endpoints or weights [<= 0]. *)
 val create : int -> edge list -> t
+
+(** [of_edge_arrays ~n us vs ws] builds a graph from parallel endpoint
+    and weight columns without materializing an [edge] record list:
+    edge [i] joins [us.(i)] and [vs.(i)] with weight [ws.(i)]. The
+    input arrays are not retained or mutated. [?len] restricts to the
+    first [len] entries (default: [Array.length us]). Validation,
+    self-loop dropping and parallel-edge collapse match {!create};
+    temporary storage is O(len) unboxed words, so this is the
+    constructor to use at Graph500 scale.
+    @raise Invalid_argument as {!create}, with ["Graph.of_edge_arrays"]
+    prefixes. *)
+val of_edge_arrays :
+  n:int -> ?len:int -> int array -> int array -> float array -> t
 
 (** Number of vertices. *)
 val n : t -> int
@@ -36,11 +56,44 @@ val endpoints : t -> int -> int * int
 val other_end : t -> int -> int -> int
 
 (** [neighbors g v] is the array of [(edge_id, neighbor)] pairs incident
-    to [v]. The returned array is owned by the graph: do not mutate. *)
+    to [v]. The returned array is owned by the graph: do not mutate.
+
+    Deprecated in favor of {!iter_neighbors} / {!fold_neighbors}: the
+    tuple rows are built lazily from the CSR columns on first access
+    and memoized, so calling this forces the boxed representation into
+    existence. In-tree code must not use it (enforced by a grep gate in
+    the test suite); it remains for external API compatibility. *)
 val neighbors : t -> int -> (int * int) array
 
 (** [degree g v] is the number of edges incident to [v]. *)
 val degree : t -> int -> int
+
+(** [iter_neighbors g v f] applies [f edge_id neighbor] to every edge
+    incident to [v], in ascending edge-id order (the same order
+    {!neighbors} reports). Traverses the packed CSR columns directly —
+    no allocation, no closure per element beyond [f] itself. *)
+val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
+
+(** [fold_neighbors g v f acc] folds [f acc edge_id neighbor] over the
+    edges incident to [v] in ascending edge-id order, without
+    allocating intermediate tuples. *)
+val fold_neighbors : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+(** The physical CSR columns, for hot loops where even the closure
+    call of {!iter_neighbors} is measurable (Dijkstra, BFS kernels).
+    Vertex [v]'s incidences are
+    [off.(v) .. off.(v+1)-1] into [adj_eid]/[adj_dst]; [ew.(id)] is
+    edge [id]'s weight. The arrays are the graph's own storage, shared
+    not copied: treat them as read-only, exactly like the array
+    returned by {!neighbors}. *)
+type view = private {
+  off : int array;
+  adj_eid : int array;
+  adj_dst : int array;
+  ew : float array;
+}
+
+val view : t -> view
 
 (** [iter_edges g f] applies [f id edge] to every edge. *)
 val iter_edges : t -> (int -> edge -> unit) -> unit

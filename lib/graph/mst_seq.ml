@@ -24,12 +24,10 @@ let prim g =
     let acc = ref [] in
     let add v =
       in_tree.(v) <- true;
-      Array.iter
-        (fun (id, u) ->
+      Graph.iter_neighbors g v (fun id u ->
           if not in_tree.(u) then
             (* Encode the tie-break in the priority: weight first, id second. *)
             Pqueue.push q (Graph.weight g id) (id, u))
-        (Graph.neighbors g v)
     in
     add 0;
     let picked = ref 1 in

@@ -1,11 +1,12 @@
 type sssp = { dist : float array; parent_edge : int array }
 
-let dijkstra_core ?(bound = infinity) ?(edge_ok = fun _ -> true) g seeds =
+let dijkstra_core ?(bound = infinity) ?edge_ok g seeds =
   let n = Graph.n g in
   let dist = Array.make n infinity in
   let parent_edge = Array.make n (-1) in
   let source = Array.make n (-1) in
   let settled = Array.make n false in
+  let { Graph.off; adj_eid; adj_dst; ew } = Graph.view g in
   let q = Pqueue.create () in
   List.iter
     (fun s ->
@@ -13,29 +14,46 @@ let dijkstra_core ?(bound = infinity) ?(edge_ok = fun _ -> true) g seeds =
       source.(s) <- s;
       Pqueue.push q 0.0 s)
     seeds;
-  let rec loop () =
-    if not (Pqueue.is_empty q) then begin
-      let d, v = Pqueue.pop_min q in
-      if not settled.(v) then begin
-        settled.(v) <- true;
-        if d <= bound then
-          Array.iter
-            (fun (id, u) ->
-              if edge_ok id && not settled.(u) then begin
-                let nd = d +. Graph.weight g id in
-                if nd < dist.(u) && nd <= bound then begin
-                  dist.(u) <- nd;
-                  parent_edge.(u) <- id;
-                  source.(u) <- source.(v);
-                  Pqueue.push q nd u
-                end
-              end)
-            (Graph.neighbors g v)
-      end;
-      loop ()
+  while not (Pqueue.is_empty q) do
+    let d, v = Pqueue.pop_min q in
+    if not settled.(v) then begin
+      settled.(v) <- true;
+      if d <= bound then begin
+        let hi = off.(v + 1) - 1 in
+        match edge_ok with
+        | None ->
+          (* Unfiltered hot path: walk the CSR columns directly — no
+             closure, no per-edge [Graph.weight] call. *)
+          for i = off.(v) to hi do
+            let u = adj_dst.(i) in
+            if not settled.(u) then begin
+              let id = adj_eid.(i) in
+              let nd = d +. ew.(id) in
+              if nd < dist.(u) && nd <= bound then begin
+                dist.(u) <- nd;
+                parent_edge.(u) <- id;
+                source.(u) <- source.(v);
+                Pqueue.push q nd u
+              end
+            end
+          done
+        | Some ok ->
+          for i = off.(v) to hi do
+            let id = adj_eid.(i) in
+            let u = adj_dst.(i) in
+            if ok id && not settled.(u) then begin
+              let nd = d +. ew.(id) in
+              if nd < dist.(u) && nd <= bound then begin
+                dist.(u) <- nd;
+                parent_edge.(u) <- id;
+                source.(u) <- source.(v);
+                Pqueue.push q nd u
+              end
+            end
+          done
+      end
     end
-  in
-  loop ();
+  done;
   ({ dist; parent_edge }, source)
 
 let dijkstra ?bound ?edge_ok g src = fst (dijkstra_core ?bound ?edge_ok g [ src ])
@@ -59,18 +77,20 @@ let path_to r g v =
 let bfs_hops g src =
   let n = Graph.n g in
   let dist = Array.make n (-1) in
+  let { Graph.off; adj_dst; _ } = Graph.view g in
   let q = Queue.create () in
   dist.(src) <- 0;
   Queue.push src q;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    Array.iter
-      (fun (_, u) ->
-        if dist.(u) < 0 then begin
-          dist.(u) <- dist.(v) + 1;
-          Queue.push u q
-        end)
-      (Graph.neighbors g v)
+    let dv = dist.(v) + 1 in
+    for i = off.(v) to off.(v + 1) - 1 do
+      let u = adj_dst.(i) in
+      if dist.(u) < 0 then begin
+        dist.(u) <- dv;
+        Queue.push u q
+      end
+    done
   done;
   dist
 

@@ -33,13 +33,11 @@ let max_edge_stretch g ids =
   for v = 0 to Graph.n g - 1 do
     if Graph.degree g v > 0 then begin
       let sp = Paths.dijkstra ~edge_ok g v in
-      Array.iter
-        (fun (id, u) ->
+      Graph.iter_neighbors g v (fun id u ->
           if u > v then begin
             let s = edge_stretch ~dist:sp.dist.(u) ~w:(Graph.weight g id) in
             if s > !worst then worst := s
           end)
-        (Graph.neighbors g v)
     end
   done;
   !worst

@@ -23,8 +23,7 @@ let compute g ~order =
           if d < best.(v) then begin
             best.(v) <- d;
             lists.(v) <- (u, d) :: lists.(v);
-            Array.iter
-              (fun (e, x) ->
+            Graph.iter_neighbors g v (fun e x ->
                 let nd = d +. Graph.weight g e in
                 if nd < best.(x) then begin
                   match Hashtbl.find_opt dist x with
@@ -33,7 +32,6 @@ let compute g ~order =
                     Hashtbl.replace dist x nd;
                     Pqueue.push q nd x
                 end)
-              (Graph.neighbors g v)
           end
       done)
     order;

@@ -502,6 +502,172 @@ let test_edge_set_io () =
       Graph_io.save_edge_set path [ 4; 1; 9; 0 ];
       check "edge set roundtrip" true (Graph_io.load_edge_set path = [ 4; 1; 9; 0 ]))
 
+(* ------------------------------------------------------------------ *)
+(* CSR substrate: the flat representation must be observation-
+   equivalent to the legacy tuple-array adjacency, and the streaming
+   constructor equivalent to [create]. *)
+
+(* Random raw edge stream with self-loops, parallel edges and
+   duplicate weights — everything the builder has to normalize. *)
+let raw_edges rng n k =
+  List.init k (fun _ ->
+      {
+        Graph.u = Random.State.int rng n;
+        v = Random.State.int rng n;
+        w = float_of_int (1 + Random.State.int rng 20) /. 2.0;
+      })
+
+let prop_csr_matches_legacy =
+  QCheck2.Test.make ~name:"csr adjacency = legacy tuple adjacency" ~count:60
+    QCheck2.Gen.(pair (int_range 1 40) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 0xc5a |] in
+      let edges = raw_edges rng n (3 * n) in
+      let g = Graph.create n edges in
+      (* Independent model: lightest weight per normalized endpoint
+         pair, self-loops dropped. *)
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun e ->
+          if e.Graph.u <> e.Graph.v then begin
+            let k = (min e.Graph.u e.Graph.v, max e.Graph.u e.Graph.v) in
+            match Hashtbl.find_opt model k with
+            | Some w when w <= e.Graph.w -> ()
+            | _ -> Hashtbl.replace model k e.Graph.w
+          end)
+        edges;
+      Graph.m g = Hashtbl.length model
+      && List.for_all
+           (fun v ->
+             let legacy = Graph.neighbors g v in
+             let via_fold =
+               List.rev
+                 (Graph.fold_neighbors g v (fun acc id u -> (id, u) :: acc) [])
+             in
+             let via_iter = ref [] in
+             Graph.iter_neighbors g v (fun id u -> via_iter := (id, u) :: !via_iter);
+             let vw = Graph.view g in
+             let via_view =
+               List.init
+                 (vw.Graph.off.(v + 1) - vw.Graph.off.(v))
+                 (fun i ->
+                   let p = vw.Graph.off.(v) + i in
+                   (vw.Graph.adj_eid.(p), vw.Graph.adj_dst.(p)))
+             in
+             Array.to_list legacy = via_fold
+             && List.rev !via_iter = via_fold
+             && via_view = via_fold
+             && List.for_all
+                  (fun (id, _) -> vw.Graph.ew.(id) = Graph.weight g id)
+                  via_view
+             && Graph.degree g v = Array.length legacy
+             (* ascending edge ids, the documented iteration order *)
+             && List.sort Int.compare (List.map fst via_fold) = List.map fst via_fold
+             && List.for_all
+                  (fun (id, u) ->
+                    let a, b = Graph.endpoints g id in
+                    a < b
+                    && Graph.other_end g id v = u
+                    && Graph.other_end g id u = v
+                    && Hashtbl.find_opt model (min u v, max u v)
+                       = Some (Graph.weight g id))
+                  via_fold)
+           (List.init n Fun.id))
+
+let prop_of_edge_arrays_equals_create =
+  QCheck2.Test.make ~name:"of_edge_arrays = create on the same stream" ~count:60
+    QCheck2.Gen.(pair (int_range 1 30) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; 0x0ea |] in
+      let edges = raw_edges rng n (4 * n) in
+      let g1 = Graph.create n edges in
+      let k = List.length edges in
+      let us = Array.make k 0 and vs = Array.make k 0 and ws = Array.make k 0.0 in
+      List.iteri
+        (fun i e ->
+          us.(i) <- e.Graph.u;
+          vs.(i) <- e.Graph.v;
+          ws.(i) <- e.Graph.w)
+        edges;
+      let g2 = Graph.of_edge_arrays ~n us vs ws in
+      Graph.n g1 = Graph.n g2
+      && Graph.m g1 = Graph.m g2
+      && List.for_all
+           (fun id ->
+             Graph.endpoints g1 id = Graph.endpoints g2 id
+             && Graph.weight g1 id = Graph.weight g2 id)
+           (List.init (Graph.m g1) Fun.id))
+
+let test_of_edge_arrays_validates () =
+  Alcotest.check_raises "bad endpoint"
+    (Invalid_argument "Graph.of_edge_arrays: endpoint out of range") (fun () ->
+      ignore (Graph.of_edge_arrays ~n:2 [| 0 |] [| 5 |] [| 1.0 |]));
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Graph.of_edge_arrays: weight must be positive and finite")
+    (fun () -> ignore (Graph.of_edge_arrays ~n:2 [| 0 |] [| 1 |] [| nan |]));
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Graph.of_edge_arrays: negative n") (fun () ->
+      ignore (Graph.of_edge_arrays ~n:(-1) [||] [||] [||]));
+  (* len restricts to a prefix *)
+  let g = Graph.of_edge_arrays ~n:3 ~len:1 [| 0; 1 |] [| 1; 2 |] [| 1.0; 1.0 |] in
+  check_int "len prefix" 1 (Graph.m g)
+
+(* ------------------------------------------------------------------ *)
+(* RMAT generator: replayable across refactors. The exact edge set for
+   a fixed seed is pinned — m, the max degree, and an FNV-1a digest of
+   the first 64 edges — so any change to the recursion, the noise
+   model or the builder's dedup shows up here, not as silent drift in
+   committed BENCH numbers. *)
+
+let fnv1a_64 ints =
+  let prime = 0x100000001b3L in
+  List.fold_left
+    (fun h x -> Int64.mul (Int64.logxor h (Int64.of_int x)) prime)
+    0xcbf29ce484222325L ints
+
+let rmat_test_graph () =
+  Gen.rmat (Random.State.make [| 0xf00d; 20 |]) ~scale:10 ~edge_factor:8 ()
+
+let test_rmat_pinned () =
+  let g = rmat_test_graph () in
+  check_int "n" 1024 (Graph.n g);
+  check_int "pinned m" 6058 (Graph.m g);
+  let maxdeg = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v > !maxdeg then maxdeg := Graph.degree g v
+  done;
+  check_int "pinned max degree" 354 !maxdeg;
+  let first = ref [] in
+  for id = min 63 (Graph.m g - 1) downto 0 do
+    let u, v = Graph.endpoints g id in
+    let wbits = Int64.to_int (Int64.bits_of_float (Graph.weight g id)) in
+    first := u :: v :: wbits :: !first
+  done;
+  let digest = fnv1a_64 !first in
+  Alcotest.(check string)
+    "pinned fnv digest of first 64 edges" "13b4ed73c487f455"
+    (Printf.sprintf "%016Lx" digest)
+
+let test_rmat_structure () =
+  let g = rmat_test_graph () in
+  (* Simple-graph invariants survive the builder. *)
+  Graph.iter_edges g (fun _ e ->
+      check "no self loop" true (e.Graph.u <> e.Graph.v);
+      check "normalized" true (e.Graph.u < e.Graph.v);
+      check "weight in range" true (e.Graph.w >= 1.0 && e.Graph.w <= 100.0));
+  (* Determinism: same seed, same graph. *)
+  let g2 = rmat_test_graph () in
+  check_int "replayed m" (Graph.m g) (Graph.m g2);
+  check "replayed edges" true
+    (List.init (Graph.m g) (fun id ->
+         Graph.endpoints g id = Graph.endpoints g2 id
+         && Graph.weight g id = Graph.weight g2 id)
+    |> List.for_all Fun.id);
+  check "rejects scale 0" true
+    (match Gen.rmat_edges (rng ()) ~scale:0 ~edge_factor:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* Fixed QCheck seed: dune runtest must be deterministic, and any
    failure replayable from the printed counterexample alone. *)
 let qcheck t =
@@ -565,5 +731,14 @@ let () =
           Alcotest.test_case "euler interval api" `Quick test_euler_interval_api;
           qcheck prop_graph_io_roundtrip;
           Alcotest.test_case "edge set io" `Quick test_edge_set_io;
+        ] );
+      ( "csr+rmat",
+        [
+          qcheck prop_csr_matches_legacy;
+          qcheck prop_of_edge_arrays_equals_create;
+          Alcotest.test_case "of_edge_arrays validates" `Quick
+            test_of_edge_arrays_validates;
+          Alcotest.test_case "rmat pinned" `Quick test_rmat_pinned;
+          Alcotest.test_case "rmat structure" `Quick test_rmat_structure;
         ] );
     ]
