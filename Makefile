@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-smoke trace-smoke par-smoke route-smoke oracle scale scale-smoke clean
+.PHONY: all build test bench bench-smoke chaos chaos-smoke trace-smoke par-smoke route-smoke scenarios oracle scale scale-smoke clean
 
 all: build
 
@@ -47,6 +47,15 @@ par-smoke:
 # `dune runtest` via @route-smoke.
 route-smoke:
 	dune build @route-smoke
+
+# Full declarative chaos suite: every committed .scn scenario through
+# the harness (expected-violation must exit 5 or the suite fails),
+# writing per-scenario verdicts, rounds, drops, retransmissions and SLO
+# margins. Three cheap scenarios also run in `dune runtest` via
+# @scenario-smoke.
+scenarios:
+	dune exec bin/lightnet_cli.exe -- scenario --dir scenarios \
+	  --expect-violation expected-violation --json BENCH_scenarios.json
 
 # Route-oracle benchmark: qps per tier, cache hit-rate sweep, label vs
 # Dijkstra speedup and a certified max stretch. Writes BENCH_oracle.json.

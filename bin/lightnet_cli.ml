@@ -590,6 +590,116 @@ let serve_cmd =
       const run $ file_arg $ queries_arg $ workload_arg $ tier_arg $ cache_arg
       $ seed_arg $ certify_arg $ stretch_arg $ sample_arg)
 
+(* Scenario suite: load declarative .scn files, execute each through
+   the engine stack and print its per-assertion table. A scenario that
+   fails its assertions is a violation unless named in
+   --expect-violation (in which case *passing* is the violation: the
+   fixture exists to prove the harness can fail). Any violation exits
+   5, so CI runs the whole committed suite in one invocation. *)
+let scenario_cmd =
+  let run files dir expect json_path trace domains =
+    let from_dir =
+      match dir with
+      | None -> []
+      | Some d ->
+        Sys.readdir d |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".scn")
+        |> List.sort compare
+        |> List.map (Filename.concat d)
+    in
+    let files = files @ from_dir in
+    if files = [] then
+      Fmt.failwith "no scenarios: give FILE... and/or --dir DIR";
+    let outcomes =
+      with_domains domains @@ fun () ->
+      with_trace trace @@ fun () ->
+      List.map
+        (fun path ->
+          let name = Filename.remove_extension (Filename.basename path) in
+          match Scenario_runner.run (Scenario.load path) with
+          | r ->
+            Format.printf "%a@." Scenario_runner.pp r;
+            (name, Ok r)
+          | exception (Failure m | Invalid_argument m | Sys_error m) ->
+            Format.printf "scenario %s: ERROR %s@." name m;
+            (name, Error m))
+        files
+    in
+    (match json_path with
+    | None -> ()
+    | Some p ->
+      let oc = open_out p in
+      output_string oc "[\n";
+      List.iteri
+        (fun i (name, o) ->
+          if i > 0 then output_string oc ",\n";
+          match o with
+          | Ok r -> output_string oc (Scenario_runner.json r)
+          | Error m ->
+            output_string oc
+              (Printf.sprintf "{\"name\":%S,\"ok\":false,\"error\":%S}" name m))
+        outcomes;
+      output_string oc "\n]\n";
+      close_out oc;
+      Format.printf "wrote %s@." p);
+    let violations =
+      List.filter_map
+        (fun (name, o) ->
+          let expected = List.mem name expect in
+          let passed =
+            match o with Ok r -> r.Scenario_runner.ok | Error _ -> false
+          in
+          match (passed, expected) with
+          | true, true -> Some (name ^ " (expected a violation, but it passed)")
+          | false, false -> Some name
+          | _ -> None)
+        outcomes
+    in
+    List.iter (fun v -> Format.printf "VIOLATION: %s@." v) violations;
+    Format.printf "scenarios: %d run, %d violation%s@." (List.length outcomes)
+      (List.length violations)
+      (if List.length violations = 1 then "" else "s");
+    if violations <> [] then Stdlib.exit 5
+  in
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Scenario files (.scn).")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Also run every .scn file in DIR (sorted by name).")
+  in
+  let expect_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "expect-violation" ] ~docv:"NAME"
+          ~doc:
+            "Scenario NAME is expected to fail its assertions; it passing is \
+             then the violation. Repeatable.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write per-scenario verdicts, rounds, drops, retransmissions and \
+             SLO margins to FILE as a JSON array.")
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Run declarative chaos scenarios and judge their SLO assertions \
+          (exit 5 on any violation: a scenario failing, or an \
+          $(b,--expect-violation) scenario passing).")
+    Term.(
+      const run $ files_arg $ dir_arg $ expect_arg $ json_arg $ trace_arg
+      $ domains_arg)
+
 let report_cmd =
   let run file min_coverage =
     let t = Telemetry.load_file file in
@@ -649,6 +759,7 @@ let () =
             doubling_cmd;
             estimate_cmd;
             chaos_cmd;
+            scenario_cmd;
             build_artifact_cmd;
             serve_cmd;
             report_cmd;

@@ -400,8 +400,12 @@ let run_reference ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
         | Some plan -> Fault.crashed plan ~node:v ~round:!rounds
         | None -> false
       then begin
-        (* Crash-stop: the node is never stepped again. Its inbox is
-           necessarily empty (sends to it were dropped in transit). *)
+        (* Crashed: the node is not stepped while the plan says it is
+           down. Its inbox is necessarily empty (sends to it were
+           dropped in transit). Crash-stop nodes never run again; a
+           crash-recovery window leaves the state intact and the node
+           wakes on the first message delivered at or after its
+           recover round. *)
         active.(v) <- false;
         incr skipped
       end
@@ -871,9 +875,13 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
         | Some plan -> Fault.crashed plan ~node:v ~round:!rounds
         | None -> false
       then begin
-        (* Crash-stop: never stepped again, not re-queued. The inbox
-           chain is necessarily empty (sends to it were dropped), but
-           clear the head defensively to keep the swap invariant. *)
+        (* Crashed: not stepped, not re-queued. The inbox chain is
+           necessarily empty (sends to it were dropped), but clear the
+           head defensively to keep the swap invariant. A node with a
+           recovery window re-enters the worklist through the normal
+           delivery push of the first message that reaches it at or
+           after its recover round — identical to the reference
+           engine, whose scan steps it on that same message. *)
         heads.(v) <- -1;
         active.(v) <- false;
         incr skipped

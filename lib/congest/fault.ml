@@ -1,6 +1,10 @@
+module Graph = Ln_graph.Graph
+
 type cause = Random_drop | Link_down | Crash
 
 type link_failure = { edge : int; from_round : int; until_round : int option }
+
+type crash = { node : int; crash_round : int; recover_round : int option }
 
 type counts = { random_drops : int; link_drops : int; crash_drops : int }
 
@@ -11,29 +15,65 @@ type plan = {
   drop_prob : float;
   drop_until : int;
   link_failures : link_failure array;
-  crashes : (int * int) array;
+  crashes : crash array;
   mutable run : int;
   mutable random_drops : int;
   mutable link_drops : int;
   mutable crash_drops : int;
 }
 
+(* Validation errors carry the offending ids and bounds, and their
+   wording is pinned by test_fault.ml: a malformed plan must fail
+   loudly at [make] time, not run as a silently dead window. *)
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
 let make ?(drop_prob = 0.0) ?(drop_until = max_int) ?(link_failures = [])
-    ?(crashes = []) ~seed () =
+    ?(crashes = []) ?(crash_windows = []) ?graph ~seed () =
   if drop_prob < 0.0 || drop_prob >= 1.0 then
     invalid_arg "Fault.make: drop_prob must be in [0, 1)";
+  let n, m =
+    match graph with
+    | Some g -> (Graph.n g, Graph.m g)
+    | None -> (max_int, max_int)
+  in
   List.iter
     (fun f ->
       if f.edge < 0 || f.from_round < 0 then
-        invalid_arg "Fault.make: negative edge id or round";
+        fail "Fault.make: link failure on edge %d at round %d is negative"
+          f.edge f.from_round;
+      if f.edge >= m then
+        fail "Fault.make: link-failure edge %d out of range (m=%d)" f.edge m;
       match f.until_round with
       | Some u when u <= f.from_round ->
-        invalid_arg "Fault.make: empty link-failure window"
+        fail "Fault.make: link %d failure window [%d,%d) is empty" f.edge
+          f.from_round u
       | _ -> ())
     link_failures;
+  let crashes =
+    List.map
+      (fun (v, r) -> { node = v; crash_round = r; recover_round = None })
+      crashes
+    @ crash_windows
+  in
   List.iter
-    (fun (v, r) ->
-      if v < 0 || r < 0 then invalid_arg "Fault.make: negative crash entry")
+    (fun c ->
+      if c.node < 0 || c.crash_round < 0 then
+        fail "Fault.make: crash of node %d at round %d is negative" c.node
+          c.crash_round;
+      if c.node >= n then
+        fail "Fault.make: crash node %d out of range (n=%d)" c.node n;
+      match c.recover_round with
+      | Some r when r <= c.crash_round ->
+        fail "Fault.make: crash window [%d,%d) of node %d is empty"
+          c.crash_round r c.node
+      | _ -> ())
+    crashes;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.node then
+        fail "Fault.make: duplicate crash of node %d" c.node;
+      Hashtbl.add seen c.node ())
     crashes;
   {
     seed;
@@ -68,8 +108,10 @@ let crashed p ~node ~round =
   let rec go i =
     if i >= len then false
     else
-      let v, r = a.(i) in
-      (v = node && r <= round) || go (i + 1)
+      let c = a.(i) in
+      (c.node = node && c.crash_round <= round
+      && match c.recover_round with None -> true | Some r -> round < r)
+      || go (i + 1)
   in
   go 0
 
@@ -121,7 +163,11 @@ let counts p =
     crash_drops = p.crash_drops;
   }
 
-let surviving_node p v = not (Array.exists (fun (u, _) -> u = v) p.crashes)
+let surviving_node p v =
+  not
+    (Array.exists
+       (fun c -> c.node = v && c.recover_round = None)
+       p.crashes)
 
 let surviving_edge p e =
   not
@@ -145,7 +191,11 @@ let describe p =
         | Some u -> Printf.sprintf " link%d-[%d,%d)" f.edge f.from_round u))
     p.link_failures;
   Array.iter
-    (fun (v, r) -> Buffer.add_string b (Printf.sprintf " crash%d@%d" v r))
+    (fun c ->
+      Buffer.add_string b
+        (match c.recover_round with
+        | None -> Printf.sprintf " crash%d@%d" c.node c.crash_round
+        | Some r -> Printf.sprintf " crash%d@[%d,%d)" c.node c.crash_round r))
     p.crashes;
   Buffer.contents b
 

@@ -24,7 +24,11 @@
     - {!Artifact}, {!Labels}, {!Oracle}, {!Workload}, {!Serve},
       {!Rmq} — the route-oracle serving layer (persisted artifacts
       and the cached query engine, see DESIGN.md "Query serving &
-      artifacts"). *)
+      artifacts");
+    - {!Scenario}, {!Scenario_runner} — declarative chaos scenarios:
+      topology + workload + fault schedule + SLO assertions in one
+      value, compiled onto the stack above and judged by the
+      certifiers (see DESIGN.md "Scenario layer"). *)
 
 module Graph = Ln_graph.Graph
 module Paths = Ln_graph.Paths
@@ -79,6 +83,8 @@ module Artifact = Ln_route.Artifact
 module Oracle = Ln_route.Oracle
 module Workload = Ln_route.Workload
 module Serve = Ln_route.Serve
+module Scenario = Ln_scenario.Scenario
+module Scenario_runner = Ln_scenario.Runner
 
 (** One-call constructions with bundled quality numbers — the paper's
     Table-1 rows as library calls. *)

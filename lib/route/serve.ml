@@ -60,6 +60,11 @@ let run oracle ~tier pairs =
     checksum = !checksum;
   }
 
+let hit_rate o =
+  let total = o.cache.Oracle.hits + o.cache.Oracle.misses in
+  if total = 0 then 0.0
+  else float_of_int o.cache.Oracle.hits /. float_of_int total
+
 let pp_outcome ppf o =
   Format.fprintf ppf
     "tier %s: %d queries in %.3fs (%.0f qps); latency us p50 %.1f p90 %.1f p99 %.1f max %.1f"

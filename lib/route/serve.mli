@@ -26,6 +26,11 @@ type outcome = {
 }
 
 val run : Oracle.t -> tier:Oracle.tier -> (int * int) array -> outcome
+
+(** Cache hit fraction of a batch: hits / (hits + misses), 0.0 when
+    the tier touched no cache counters (never [nan]). *)
+val hit_rate : outcome -> float
+
 val pp_outcome : Format.formatter -> outcome -> unit
 
 type certificate = {

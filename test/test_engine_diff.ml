@@ -199,7 +199,21 @@ let plan_of g ~seed =
       ]
     else []
   in
-  Fault.make ~drop_prob ~link_failures ~crashes ~seed ()
+  (* Crash-recovery windows land on a different seed class than the
+     crash-stops, so the sample mixes permanent and healing crashes. *)
+  let crash_windows =
+    if seed mod 3 = 1 then
+      let at = mix seed 13 14 15 mod 6 in
+      [
+        {
+          Fault.node = mix seed 16 17 18 mod n;
+          crash_round = at;
+          recover_round = Some (at + 1 + (mix seed 19 20 21 mod 8));
+        };
+      ]
+    else []
+  in
+  Fault.make ~drop_prob ~link_failures ~crashes ~crash_windows ~seed ()
 
 let par_domains = [ 1; 2; 4 ]
 

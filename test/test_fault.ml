@@ -89,7 +89,21 @@ let plan_of g ~seed =
       ]
     else []
   in
-  Fault.make ~drop_prob ~link_failures ~crashes ~seed ()
+  (* Crash-recovery windows land on a different seed class than the
+     crash-stops, so the sample mixes permanent and healing crashes. *)
+  let crash_windows =
+    if seed mod 3 = 1 then
+      let at = mix seed 13 14 15 mod 6 in
+      [
+        {
+          Fault.node = mix seed 16 17 18 mod n;
+          crash_round = at;
+          recover_round = Some (at + 1 + (mix seed 19 20 21 mod 8));
+        };
+      ]
+    else []
+  in
+  Fault.make ~drop_prob ~link_failures ~crashes ~crash_windows ~seed ()
 
 let prop_differential_under_faults =
   QCheck2.Test.make
@@ -200,6 +214,173 @@ let test_transient_link_failure_taxonomy () =
   Alcotest.(check bool) "reliable flood is Correct" true
     (r.verdict = Monitor.Correct)
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* The plan validator must reject malformed schedules eagerly, with
+   pinned messages — a typo'd window that silently compiles to "no
+   fault" would quietly weaken every scenario built on it. *)
+let test_make_validation () =
+  let g = Gen.path 4 in
+  (* n = 4, m = 3 *)
+  let rejects msg build =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (build ()))
+  in
+  rejects "Fault.make: link 1 failure window [5,5) is empty" (fun () ->
+      Fault.make
+        ~link_failures:[ { Fault.edge = 1; from_round = 5; until_round = Some 5 } ]
+        ~seed:0 ());
+  rejects "Fault.make: link failure on edge 1 at round -2 is negative"
+    (fun () ->
+      Fault.make
+        ~link_failures:
+          [ { Fault.edge = 1; from_round = -2; until_round = None } ]
+        ~seed:0 ());
+  rejects "Fault.make: link-failure edge 3 out of range (m=3)" (fun () ->
+      Fault.make
+        ~link_failures:[ { Fault.edge = 3; from_round = 0; until_round = None } ]
+        ~graph:g ~seed:0 ());
+  rejects "Fault.make: crash window [5,5) of node 1 is empty" (fun () ->
+      Fault.make
+        ~crash_windows:
+          [ { Fault.node = 1; crash_round = 5; recover_round = Some 5 } ]
+        ~seed:0 ());
+  rejects "Fault.make: crash of node 1 at round -1 is negative" (fun () ->
+      Fault.make ~crashes:[ (1, -1) ] ~seed:0 ());
+  rejects "Fault.make: crash node 4 out of range (n=4)" (fun () ->
+      Fault.make ~crashes:[ (4, 0) ] ~graph:g ~seed:0 ());
+  rejects "Fault.make: duplicate crash of node 2" (fun () ->
+      Fault.make ~crashes:[ (2, 0) ]
+        ~crash_windows:
+          [ { Fault.node = 2; crash_round = 3; recover_round = Some 9 } ]
+        ~seed:0 ());
+  (* A well-formed mixed schedule still builds. *)
+  ignore
+    (Fault.make ~crashes:[ (1, 2) ]
+       ~crash_windows:
+         [ { Fault.node = 2; crash_round = 0; recover_round = Some 4 } ]
+       ~link_failures:[ { Fault.edge = 0; from_round = 1; until_round = Some 3 } ]
+       ~graph:g ~seed:0 ())
+
+(* Crash-recovery semantics on a path 0-1-2-3: node 2 is down for
+   rounds [0,6). The raw forward-once flood offers the value exactly
+   once, inside the window — nodes 2 and 3 stay dark, and because node
+   2 *heals*, the certifier must call that Wrong (the surviving
+   subgraph includes it). The ARQ keeps retransmitting, reaches node 2
+   after recovery, and node 2's own sends then wake node 3: Correct. *)
+let test_crash_recovery () =
+  let g = Gen.path 4 in
+  let plan =
+    Fault.make
+      ~crash_windows:
+        [ { Fault.node = 2; crash_round = 0; recover_round = Some 6 } ]
+      ~seed:4 ()
+  in
+  Alcotest.(check bool) "down at 0" true (Fault.crashed plan ~node:2 ~round:0);
+  Alcotest.(check bool) "down at 5" true (Fault.crashed plan ~node:2 ~round:5);
+  Alcotest.(check bool) "up at 6" false (Fault.crashed plan ~node:2 ~round:6);
+  Alcotest.(check bool) "survives (window heals)" true
+    (Fault.surviving_node plan 2);
+  let s = Fault.describe plan in
+  Alcotest.(check bool) "window printed" true (contains s "crash2@[0,6)");
+  let got, _ = Broadcast.flood ~faults:plan g ~root:0 ~value:8 in
+  Alcotest.(check bool) "raw flood loses 2 and 3" true
+    (got.(2) = None && got.(3) = None);
+  let r = Monitor.broadcast g plan ~root:0 ~value:8 ~got in
+  Alcotest.(check bool) "raw flood is Wrong (node healed)" true
+    (r.verdict = Monitor.Wrong);
+  Fault.reset plan;
+  let got, stats =
+    Broadcast.flood_reliable ~max_retries:100 ~faults:plan g ~root:0 ~value:8
+  in
+  Alcotest.(check bool) "recovered node reached" true (got.(2) = Some 8);
+  Alcotest.(check bool) "woken node forwards on" true (got.(3) = Some 8);
+  Alcotest.(check bool) "retransmissions counted" true
+    (stats.retransmissions > 0);
+  let r = Monitor.broadcast g plan ~root:0 ~value:8 ~got in
+  Alcotest.(check bool) "reliable flood is Correct" true
+    (r.verdict = Monitor.Correct)
+
+(* Retry exhaustion must surface, not hang: against a *permanent* link
+   failure the ARQ burns its retry budget, declares the link dead
+   (counted in Reliable.gave_up), converges, and the certifier says
+   Degraded. The give-up accounting is part of the differential
+   contract: all three backends agree on retransmissions and gave_up. *)
+let test_retry_exhaustion () =
+  let g = Gen.path 4 in
+  let plan =
+    Fault.make
+      ~link_failures:[ { Fault.edge = 1; from_round = 0; until_round = None } ]
+      ~seed:9 ()
+  in
+  let program = Reliable.lift ~max_retries:4 (Broadcast.flood_program ~root:0 ~value:3) in
+  let side runner =
+    Fault.reset plan;
+    let states, stats = runner g program in
+    let gave = Array.fold_left (fun a s -> a + Reliable.gave_up s) 0 states in
+    let got = Array.map (fun s -> Reliable.project s) states in
+    (got, stats, gave)
+  in
+  let got, stats, gave = side (fun g p -> Engine.run_fast ~faults:plan g p) in
+  Alcotest.(check bool) "converged, not capped" true
+    (stats.outcome = Engine.Converged);
+  Alcotest.(check bool) "link declared dead" true (gave > 0);
+  Alcotest.(check bool) "payload abandoned" true (got.(2) = None);
+  Alcotest.(check int) "bounded retries" 4 stats.retransmissions;
+  let r = Monitor.broadcast g plan ~root:0 ~value:3 ~got in
+  Alcotest.(check bool) "degraded, not silently Correct" true
+    (r.verdict = Monitor.Degraded);
+  let reference = side (fun g p -> Engine.run_reference ~faults:plan g p) in
+  let par = side (fun g p -> Engine.run_par ~domains:3 ~faults:plan g p) in
+  Alcotest.(check bool) "reference agrees" true ((got, stats, gave) = reference);
+  Alcotest.(check bool) "par agrees" true ((got, stats, gave) = par)
+
+(* The three-backend differential on an ARQ'ed protocol under a
+   crash-*recovery* plan, including the canonical telemetry stream —
+   the exact combination the scenario suite leans on. *)
+let test_recovery_differential_all_backends () =
+  let rng = Random.State.make [| 31; 23 |] in
+  let g = Gen.ensure_connected rng (Gen.erdos_renyi rng ~n:24 ~p:0.12 ()) in
+  let plan =
+    Fault.make ~drop_prob:0.1 ~drop_until:30
+      ~crash_windows:
+        [
+          { Fault.node = 3; crash_round = 1; recover_round = Some 9 };
+          { Fault.node = 11; crash_round = 4; recover_round = Some 12 };
+          { Fault.node = 17; crash_round = 0; recover_round = None };
+        ]
+      ~seed:31 ()
+  in
+  let program = Reliable.lift ~max_retries:64 (Broadcast.flood_program ~root:0 ~value:6) in
+  let side runner =
+    Fault.reset plan;
+    let res, tr = Ln_congest.Telemetry.record (fun () -> runner g program) in
+    (res, Ln_congest.Telemetry.deterministic_lines tr, Fault.counts plan)
+  in
+  let (states, stats), lines, counts =
+    side (fun g p -> Engine.run_fast ~faults:plan g p)
+  in
+  Alcotest.(check bool) "crash drops recorded" true (counts.crash_drops > 0);
+  Alcotest.(check bool) "recovered nodes reached" true
+    (Reliable.project states.(3) = Some 6
+    && Reliable.project states.(11) = Some 6);
+  Alcotest.(check bool) "permanently crashed node dark" true
+    (Reliable.project states.(17) = None);
+  Alcotest.(check bool) "converged" true (stats.outcome = Engine.Converged);
+  let base = ((states, stats), lines, counts) in
+  Alcotest.(check bool) "reference backend byte-identical" true
+    (side (fun g p -> Engine.run_reference ~faults:plan g p) = base);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "par(%d) byte-identical" d)
+        true
+        (side (fun g p -> Engine.run_par ~domains:d ~faults:plan g p) = base))
+    [ 2; 3 ]
+
 let test_plan_replayable () =
   let g = graph_of ~n:24 ~seed:5 in
   let program = flood_program ~seed:5 ~ttl:8 ~word_cap:4 in
@@ -251,11 +432,6 @@ let test_monitor_bfs_and_forest () =
   let r = Monitor.spanning_forest g clean ~edges:(List.tl mst) in
   Alcotest.(check bool) "broken forest wrong" true (r.verdict = Monitor.Wrong)
 
-let contains s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m = 0 || go 0
-
 let test_pp_stats_outcome () =
   let g = Gen.path 4 in
   let _, stats = Broadcast.flood g ~root:0 ~value:1 in
@@ -294,6 +470,14 @@ let () =
             test_permanent_link_failure;
           Alcotest.test_case "transient window taxonomy" `Quick
             test_transient_link_failure_taxonomy;
+          Alcotest.test_case "make: validation messages" `Quick
+            test_make_validation;
+          Alcotest.test_case "crash-recovery window" `Quick
+            test_crash_recovery;
+          Alcotest.test_case "retry exhaustion surfaces" `Quick
+            test_retry_exhaustion;
+          Alcotest.test_case "recovery differential (3 backends)" `Quick
+            test_recovery_differential_all_backends;
           Alcotest.test_case "plans replay" `Quick test_plan_replayable;
           Alcotest.test_case "ambient with_faults" `Quick test_ambient_faults;
           Alcotest.test_case "monitor: bfs + forest" `Quick
