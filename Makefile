@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke chaos chaos-smoke trace-smoke par-smoke route-smoke scenarios oracle scale scale-smoke clean
+.PHONY: all build test bench bench-diff bench-smoke chaos chaos-smoke trace-smoke par-smoke route-smoke metrics-smoke scenarios oracle scale scale-smoke clean
 
 all: build
 
@@ -13,6 +13,14 @@ test:
 # n in {1k, 4k, 16k}, and the before/after headline. Writes BENCH_congest.json.
 bench:
 	dune exec bench/engine_bench.exe
+
+# Headline regression gate: rerun the full congest bench (writes a
+# fresh BENCH_congest.json) and require headline.after.rounds_per_sec
+# to clear the committed floor. Self-skips when the host's core count
+# differs from the floor's 1-core calibration host (wall-clock
+# throughput is not comparable across hosts).
+bench-diff: bench
+	dune exec bench/bench_diff.exe -- BENCH_congest.json
 
 # Quick differential + throughput sanity check (n = 256, well under 30s).
 # Also runs as part of `dune runtest` via the @bench-smoke alias.
@@ -47,6 +55,13 @@ par-smoke:
 # `dune runtest` via @route-smoke.
 route-smoke:
 	dune build @route-smoke
+
+# Metrics-registry smoke: spanner + serve with --metrics through both
+# exporters (the Prometheus output re-validated by `lightnet metrics`),
+# plus two same-seed scenario runs whose JSON snapshots must be
+# byte-identical. Also runs in `dune runtest` via @metrics-smoke.
+metrics-smoke:
+	dune build @metrics-smoke
 
 # Full declarative chaos suite: every committed .scn scenario through
 # the harness (expected-violation must exit 5 or the suite fails),

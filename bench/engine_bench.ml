@@ -950,6 +950,45 @@ let run_telemetry_overhead ~n ~blocks ~reps =
         ])
 
 (* ------------------------------------------------------------------ *)
+(* Metrics-registry overhead: the same headline workload with the
+   live metrics registry enabled vs disabled. The engine instruments
+   per *run* (finish_perf), not per round, so the "on" cost is a
+   handful of counter adds per BFS; the "off" side pays one ref read.
+   The acceptance gate is overhead <= 2% of engine wall. *)
+
+let run_metrics_overhead ~n ~blocks ~reps =
+  let g = er ~seed:1 n in
+  Printf.printf "metrics overhead: BFS on ER n=%d (fast backend)\n%!" n;
+  Engine.with_backend Engine.Fast (fun () ->
+      Gc.compact ();
+      ignore (Bfs.tree g ~root:0);
+      let off = best_block ~blocks ~reps (fun () -> ignore (Bfs.tree g ~root:0)) in
+      Metrics.set_on true;
+      let on = best_block ~blocks ~reps (fun () -> ignore (Bfs.tree g ~root:0)) in
+      let series = List.length (Metrics.snapshot ()) in
+      Metrics.set_on false;
+      Metrics.reset ();
+      let overhead_pct =
+        if off.Engine.wall > 0.0 then
+          100.0 *. ((on.Engine.wall -. off.Engine.wall) /. off.Engine.wall)
+        else 0.0
+      in
+      Printf.printf
+        "  off %.6fs/block  on %.6fs/block  overhead %+.1f%%  (%d series live)\n%!"
+        off.Engine.wall on.Engine.wall overhead_pct series;
+      Json.Obj
+        [
+          ("workload", Json.Str "bfs-er");
+          ("n", Json.Int n);
+          ("blocks", Json.Int blocks);
+          ("runs_per_block", Json.Int reps);
+          ("metrics_off", Json.Obj (match perf_json off with Json.Obj kv -> kv | _ -> []));
+          ("metrics_on", Json.Obj (match perf_json on with Json.Obj kv -> kv | _ -> []));
+          ("series_live", Json.Int series);
+          ("overhead_pct_engine_wall", Json.Float overhead_pct);
+        ])
+
+(* ------------------------------------------------------------------ *)
 (* Graph500-style RMAT section: the substrate numbers at n >= 10^6.
 
    Three measurements on one seeded RMAT graph:
@@ -1204,6 +1243,7 @@ let () =
       ~domains:scaling_domains
   in
   let telemetry = run_telemetry_overhead ~n:headline_n ~blocks ~reps in
+  let metrics = run_metrics_overhead ~n:headline_n ~blocks ~reps in
   let rmat = if headline_only then Json.Obj [] else run_rmat ~smoke in
   let json =
     Json.Obj
@@ -1221,6 +1261,7 @@ let () =
         ("rmat", rmat);
         ("scaling", scaling);
         ("telemetry_overhead", telemetry);
+        ("metrics_overhead", metrics);
       ]
   in
   let oc = open_out "BENCH_congest.json" in

@@ -90,29 +90,55 @@ let trace_arg =
            by default, the JSONL event log if FILE ends in .jsonl. Inspect \
            with $(b,lightnet report).")
 
-(* Record telemetry around [f] and write the capture. Used by every
-   subcommand; the trace file is written before control returns, so
-   callers may exit afterwards. *)
-let with_trace trace f =
-  match trace with
-  | None -> f ()
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable the metrics registry for this run and write a snapshot to \
+           FILE on completion: the deterministic JSON snapshot if FILE ends \
+           in .json, Prometheus text exposition otherwise. Inspect or \
+           validate with $(b,lightnet metrics).")
+
+(* Run [f] under the requested observability sinks. --metrics turns
+   the registry on before the run and writes the snapshot after it;
+   --trace records telemetry exactly as before. Given both, the
+   snapshot is also embedded into the Chrome trace as counter tracks.
+   All files are written before control returns, so callers may exit
+   non-zero afterwards. *)
+let with_obs trace metrics f =
+  let traced () =
+    match trace with
+    | None -> f ()
+    | Some path ->
+      let v, t = Telemetry.record f in
+      let msnap = Option.map (fun _ -> Metrics.snapshot ()) metrics in
+      Telemetry.write_file ?metrics:msnap t path;
+      Format.printf
+        "trace: %d events over %d engine rounds -> %s (leaf coverage %.1f%%)@."
+        (List.length t.Telemetry.events)
+        t.Telemetry.rounds path
+        (100.0 *. Telemetry.leaf_round_coverage t);
+      v
+  in
+  match metrics with
+  | None -> traced ()
   | Some path ->
-    let v, t = Telemetry.record f in
-    Telemetry.write_file t path;
-    Format.printf
-      "trace: %d events over %d engine rounds -> %s (leaf coverage %.1f%%)@."
-      (List.length t.Telemetry.events)
-      t.Telemetry.rounds path
-      (100.0 *. Telemetry.leaf_round_coverage t);
+    Metrics.set_on true;
+    let v = traced () in
+    let snap = Metrics.snapshot () in
+    Metrics.write_file snap path;
+    Format.printf "metrics: %d series -> %s@." (List.length snap) path;
     v
 
 let spanner_cmd =
-  let run n model seed k epsilon ledger input output trace domains =
+  let run n model seed k epsilon ledger input output trace metrics domains =
     let g = make_graph ?input ~model ~n ~seed () in
     report_common g;
     let sp, q =
       with_domains domains (fun () ->
-          with_trace trace (fun () -> Quick.light_spanner ~seed ~epsilon g ~k))
+          with_obs trace metrics (fun () -> Quick.light_spanner ~seed ~epsilon g ~k))
     in
     Format.printf "light spanner: %a@." Quick.pp_quality q;
     Format.printf "  promised: stretch <= %.2f@." sp.Light_spanner.stretch_bound;
@@ -135,16 +161,16 @@ let spanner_cmd =
     (Cmd.info "spanner" ~doc:"Build the Section-5 light spanner (Table 1 row 1).")
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ k_arg $ eps_arg $ ledger_arg
-      $ input_arg $ output_arg $ trace_arg $ domains_arg)
+      $ input_arg $ output_arg $ trace_arg $ metrics_arg $ domains_arg)
 
 let slt_cmd =
-  let run n model seed root epsilon gamma ledger trace domains =
+  let run n model seed root epsilon gamma ledger trace metrics domains =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
     let rng = Random.State.make [| seed; 0x51 |] in
     let t =
       with_domains domains (fun () ->
-          with_trace trace (fun () ->
+          with_obs trace metrics (fun () ->
               match gamma with
               | Some gamma -> Slt.build_light ~rng g ~rt:root ~gamma
               | None -> Slt.build ~rng g ~rt:root ~epsilon))
@@ -168,15 +194,15 @@ let slt_cmd =
     (Cmd.info "slt" ~doc:"Build the Section-4 shallow-light tree (Table 1 row 2).")
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ root_arg $ eps_arg $ gamma_arg
-      $ ledger_arg $ trace_arg $ domains_arg)
+      $ ledger_arg $ trace_arg $ metrics_arg $ domains_arg)
 
 let net_cmd =
-  let run n model seed radius delta ledger trace domains =
+  let run n model seed radius delta ledger trace metrics domains =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
     let net =
       with_domains domains (fun () ->
-          with_trace trace (fun () -> Quick.net ~seed ~delta g ~radius))
+          with_obs trace metrics (fun () -> Quick.net ~seed ~delta g ~radius))
     in
     Format.printf
       "net: %d points in %d iterations; covering <= %.2f, separation > %.2f@."
@@ -195,15 +221,15 @@ let net_cmd =
     (Cmd.info "net" ~doc:"Build a Section-6 (alpha,beta)-net (Table 1 row 3).")
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ radius_arg $ delta_arg
-      $ ledger_arg $ trace_arg $ domains_arg)
+      $ ledger_arg $ trace_arg $ metrics_arg $ domains_arg)
 
 let doubling_cmd =
-  let run n model seed epsilon ledger trace domains =
+  let run n model seed epsilon ledger trace metrics domains =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
     let sp, q =
       with_domains domains (fun () ->
-          with_trace trace (fun () -> Quick.doubling_spanner ~seed ~epsilon g))
+          with_obs trace metrics (fun () -> Quick.doubling_spanner ~seed ~epsilon g))
     in
     Format.printf "doubling spanner: %a (%d scales, max table %d)@." Quick.pp_quality q
       sp.Doubling_spanner.scales sp.Doubling_spanner.max_table;
@@ -215,16 +241,16 @@ let doubling_cmd =
        ~doc:"Build the Section-7 doubling-graph spanner (Table 1 row 4).")
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ eps_arg $ ledger_arg
-      $ trace_arg $ domains_arg)
+      $ trace_arg $ metrics_arg $ domains_arg)
 
 let estimate_cmd =
-  let run n model seed alpha trace domains =
+  let run n model seed alpha trace metrics domains =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
     let rng = Random.State.make [| seed; 0xe5 |] in
     let est =
       with_domains domains (fun () ->
-          with_trace trace (fun () ->
+          with_obs trace metrics (fun () ->
               let bfs =
                 Telemetry.span "bfs-tree" (fun () -> fst (Bfs.tree g ~root:0))
               in
@@ -240,7 +266,7 @@ let estimate_cmd =
     (Cmd.info "estimate" ~doc:"Section-8 net-based MST weight estimation.")
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ alpha_arg $ trace_arg
-      $ domains_arg)
+      $ metrics_arg $ domains_arg)
 
 (* Chaos runs: build a deterministic fault plan from --fault-seed,
    drive an algorithm through it, certify the result with Monitor, and
@@ -249,7 +275,7 @@ let estimate_cmd =
    description in the ledger) replays the exact run. *)
 let chaos_cmd =
   let run n model seed algo drop_prob drop_until crash_nodes link_fails
-      fault_seed reliable max_retries ledger trace domains =
+      fault_seed reliable max_retries ledger trace metrics domains =
     let g = make_graph ~model ~n ~seed () in
     report_common g;
     let n = Graph.n g in
@@ -288,7 +314,7 @@ let chaos_cmd =
        before the non-zero exits below. *)
     let stats, report =
       with_domains domains @@ fun () ->
-      with_trace trace @@ fun () ->
+      with_obs trace metrics @@ fun () ->
       (* One span over the whole chaotic run, so the trace's phase tree
          attributes the rounds even for the uninstrumented raw
          protocols. *)
@@ -355,6 +381,9 @@ let chaos_cmd =
       | a -> Fmt.failwith "unknown algo %S (bfs|broadcast|mst)" a
     in
     Ledger.attach_perf lg (Engine.totals_since before);
+    (* Registry-to-ledger bridge: any histogram series observed during
+       the run lands in the printed ledger as a metrics/ note. *)
+    if Metrics.on () then Telemetry.note_metrics lg (Metrics.snapshot ());
     (if domains > 1 then
        let peaks = Engine.par_arena_peaks () in
        if Array.length peaks > 0 then
@@ -418,7 +447,7 @@ let chaos_cmd =
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ algo_arg $ drop_arg
       $ drop_until_arg $ crash_arg $ link_arg $ fault_seed_arg $ reliable_arg
-      $ retries_arg $ ledger_arg $ trace_arg $ domains_arg)
+      $ retries_arg $ ledger_arg $ trace_arg $ metrics_arg $ domains_arg)
 
 (* Artifact pipeline: `build-artifact` runs the constructions once and
    persists everything the serving side needs; `serve` never rebuilds
@@ -426,12 +455,13 @@ let chaos_cmd =
    certifies the answered stretch against exact distances (exit 3 on a
    Wrong verdict, mirroring chaos). *)
 let build_artifact_cmd =
-  let run n model seed input k epsilon slt_epsilon root output trace domains =
+  let run n model seed input k epsilon slt_epsilon root output trace metrics
+      domains =
     let g = make_graph ?input ~model ~n ~seed () in
     report_common g;
     let sp, q, slt =
       with_domains domains (fun () ->
-          with_trace trace (fun () ->
+          with_obs trace metrics (fun () ->
               let sp, q = Quick.light_spanner ~seed ~epsilon g ~k in
               let rng = Random.State.make [| seed; 0x51 |] in
               let slt = Slt.build ~rng g ~rt:root ~epsilon:slt_epsilon in
@@ -493,10 +523,12 @@ let build_artifact_cmd =
           versioned binary artifact for $(b,lightnet serve).")
     Term.(
       const run $ n_arg $ model_arg $ seed_arg $ input_arg $ k_arg $ eps_arg
-      $ slt_eps_arg $ root_arg $ out_arg $ trace_arg $ domains_arg)
+      $ slt_eps_arg $ root_arg $ out_arg $ trace_arg $ metrics_arg
+      $ domains_arg)
 
 let serve_cmd =
-  let run file queries workload tier cache seed certify stretch sample =
+  let run file queries workload tier cache seed certify stretch sample metrics
+      metrics_every =
     let art = Artifact.load file in
     Format.printf "%a@." Artifact.pp art;
     let spec =
@@ -510,23 +542,41 @@ let serve_cmd =
       | Some t -> t
       | None -> Fmt.failwith "unknown tier %S (spanner|label|cache)" tier
     in
-    let oracle = Oracle.create ~cache_capacity:cache art in
-    let pairs = Workload.generate ~seed art.Artifact.graph spec ~count:queries in
-    Format.printf "workload: %s, %d queries, seed %d@."
-      (Workload.describe spec) queries seed;
-    let outcome = Serve.run oracle ~tier pairs in
-    Format.printf "%a@." Serve.pp_outcome outcome;
-    if certify then begin
-      let bound =
-        match stretch with
-        | Some t -> t
-        | None -> art.Artifact.spanner_stretch
+    (* --metrics-every rewrites the metrics file mid-batch, giving a
+       scraper a live file to poll; the final snapshot from with_obs
+       then overwrites it once the batch completes. *)
+    let on_snapshot =
+      match metrics with
+      | Some path when metrics_every > 0 ->
+        Some (fun snap -> Metrics.write_file snap path)
+      | _ -> None
+    in
+    let failed_cert =
+      with_obs None metrics @@ fun () ->
+      let oracle = Oracle.create ~cache_capacity:cache art in
+      let pairs =
+        Workload.generate ~seed art.Artifact.graph spec ~count:queries
       in
-      let sample = if sample <= 0 then None else Some sample in
-      let cert = Serve.certify ?sample oracle ~tier ~bound pairs in
-      Format.printf "certificate: %a@." Serve.pp_certificate cert;
-      if cert.Serve.report.Monitor.verdict = Monitor.Wrong then Stdlib.exit 3
-    end
+      Format.printf "workload: %s, %d queries, seed %d@."
+        (Workload.describe spec) queries seed;
+      let outcome =
+        Serve.run ~snapshot_every:metrics_every ?on_snapshot oracle ~tier pairs
+      in
+      Format.printf "%a@." Serve.pp_outcome outcome;
+      if certify then begin
+        let bound =
+          match stretch with
+          | Some t -> t
+          | None -> art.Artifact.spanner_stretch
+        in
+        let sample = if sample <= 0 then None else Some sample in
+        let cert = Serve.certify ?sample oracle ~tier ~bound pairs in
+        Format.printf "certificate: %a@." Serve.pp_certificate cert;
+        cert.Serve.report.Monitor.verdict = Monitor.Wrong
+      end
+      else false
+    in
+    if failed_cert then Stdlib.exit 3
   in
   let file_arg =
     Arg.(
@@ -580,6 +630,15 @@ let serve_cmd =
       & info [ "sample" ]
           ~doc:"How many answers to certify (0 = the whole workload).")
   in
+  let every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--metrics): rewrite the metrics file after every N \
+             answered queries, so an external scraper sees live counters \
+             mid-batch (0 = only on completion).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -588,7 +647,8 @@ let serve_cmd =
           stretch certificate.")
     Term.(
       const run $ file_arg $ queries_arg $ workload_arg $ tier_arg $ cache_arg
-      $ seed_arg $ certify_arg $ stretch_arg $ sample_arg)
+      $ seed_arg $ certify_arg $ stretch_arg $ sample_arg $ metrics_arg
+      $ every_arg)
 
 (* Scenario suite: load declarative .scn files, execute each through
    the engine stack and print its per-assertion table. A scenario that
@@ -597,7 +657,7 @@ let serve_cmd =
    fixture exists to prove the harness can fail). Any violation exits
    5, so CI runs the whole committed suite in one invocation. *)
 let scenario_cmd =
-  let run files dir expect json_path trace domains =
+  let run files dir expect json_path trace metrics domains =
     let from_dir =
       match dir with
       | None -> []
@@ -612,7 +672,7 @@ let scenario_cmd =
       Fmt.failwith "no scenarios: give FILE... and/or --dir DIR";
     let outcomes =
       with_domains domains @@ fun () ->
-      with_trace trace @@ fun () ->
+      with_obs trace metrics @@ fun () ->
       List.map
         (fun path ->
           let name = Filename.remove_extension (Filename.basename path) in
@@ -698,7 +758,7 @@ let scenario_cmd =
           $(b,--expect-violation) scenario passing).")
     Term.(
       const run $ files_arg $ dir_arg $ expect_arg $ json_arg $ trace_arg
-      $ domains_arg)
+      $ metrics_arg $ domains_arg)
 
 let report_cmd =
   let run file min_coverage =
@@ -733,6 +793,59 @@ let report_cmd =
        ~doc:"Pretty-print a captured telemetry trace (phase tree, coverage, edge-load histogram).")
     Term.(const run $ file_arg $ cov_arg)
 
+(* Inspect a snapshot written by --metrics. JSON snapshots are parsed
+   back through Metrics.of_json (so this doubles as a round-trip
+   check) and can be re-exported; Prometheus text is run through the
+   exposition-format validator. Exit 1 on a malformed file, so CI can
+   gate on `lightnet metrics FILE`. *)
+let metrics_cmd =
+  let run file format =
+    let text = In_channel.with_open_bin file In_channel.input_all in
+    if Filename.check_suffix file ".json" then
+      match Metrics.of_json text with
+      | exception Failure m ->
+        Format.printf "INVALID %s: %s@." file m;
+        Stdlib.exit 1
+      | snap -> (
+        match format with
+        | "summary" ->
+          Format.printf "%a" Metrics.pp snap;
+          Format.printf "metrics: %d series OK (JSON snapshot)@."
+            (List.length snap)
+        | "prom" -> print_string (Metrics.to_prometheus snap)
+        | "json" -> print_string (Metrics.to_json ~all:true snap)
+        | f -> Fmt.failwith "unknown format %S (summary|prom|json)" f)
+    else
+      match Metrics.validate_prometheus text with
+      | Ok samples ->
+        Format.printf "metrics: %d samples OK (Prometheus text)@." samples
+      | Error m ->
+        Format.printf "INVALID %s: %s@." file m;
+        Stdlib.exit 1
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Metrics file written by --metrics (.json or Prometheus text).")
+  in
+  let format_arg =
+    Arg.(
+      value & opt string "summary"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output for JSON snapshots: summary (per-series table), prom \
+             (re-export as Prometheus text), json (re-export, including \
+             unstable series).")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Validate and pretty-print a metrics snapshot written by \
+          $(b,--metrics) (exit 1 if the file is malformed).")
+    Term.(const run $ file_arg $ format_arg)
+
 let gen_cmd =
   let run n model seed output =
     let g = make_graph ~model ~n ~seed () in
@@ -763,5 +876,6 @@ let () =
             build_artifact_cmd;
             serve_cmd;
             report_cmd;
+            metrics_cmd;
             gen_cmd;
           ]))

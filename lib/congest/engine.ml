@@ -1,4 +1,5 @@
 module Graph = Ln_graph.Graph
+module Metrics = Ln_obs.Metrics
 
 exception Congest_violation of string
 
@@ -146,8 +147,48 @@ let pp_perf ppf p =
 
 let violation fmt = Format.kasprintf (fun s -> raise (Congest_violation s)) fmt
 
-let finish_perf perf ~rounds ~steps ~skipped ~messages ~words ~wall ~arena_cap
-    ~arena_grows ~dropped ~retrans ~domains ~barrier_wall =
+(* Registry counters for the always-on metrics layer (ln_obs): one
+   family per backend label, registered once at module init and bumped
+   with per-run aggregates in [finish_perf] — the per-round hot loops
+   stay untouched, so a disabled registry costs one ref read per run. *)
+type eng_metrics = {
+  m_runs : Metrics.counter;
+  m_rounds : Metrics.counter;
+  m_messages : Metrics.counter;
+  m_words : Metrics.counter;
+  m_drops : Metrics.counter;
+  m_retrans : Metrics.counter;
+}
+
+let eng_metrics backend =
+  let c suffix help =
+    Metrics.counter ~help
+      ~labels:[ ("backend", backend) ]
+      ("lightnet_engine_" ^ suffix)
+  in
+  {
+    m_runs = c "runs_total" "Engine runs completed.";
+    m_rounds = c "rounds_total" "Engine rounds executed.";
+    m_messages = c "messages_total" "Messages delivered to nodes.";
+    m_words = c "words_total" "Message words delivered to nodes.";
+    m_drops = c "drops_total" "Messages dropped by fault injection.";
+    m_retrans = c "retransmissions_total" "Retransmissions charged to runs.";
+  }
+
+let em_reference = eng_metrics "reference"
+let em_fast = eng_metrics "fast"
+let em_par = eng_metrics "par"
+
+let finish_perf perf ~em ~rounds ~steps ~skipped ~messages ~words ~wall
+    ~arena_cap ~arena_grows ~dropped ~retrans ~domains ~barrier_wall =
+  if Metrics.on () then begin
+    Metrics.incr em.m_runs;
+    Metrics.add em.m_rounds rounds;
+    Metrics.add em.m_messages messages;
+    Metrics.add em.m_words words;
+    Metrics.add em.m_drops dropped;
+    Metrics.add em.m_retrans retrans
+  end;
   let record p =
     p.runs <- p.runs + 1;
     p.rounds <- p.rounds + rounds;
@@ -426,8 +467,8 @@ let run_reference ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
   let outcome = if !continue then Round_limit else Converged in
   if outcome = Round_limit && on_round_limit = `Raise then
     violation "%s: round limit %d reached without quiescence" p.name max_rounds;
-  finish_perf perf ~rounds:!rounds ~steps:!steps ~skipped:!skipped
-    ~messages:!messages ~words:!total_words
+  finish_perf perf ~em:em_reference ~rounds:!rounds ~steps:!steps
+    ~skipped:!skipped ~messages:!messages ~words:!total_words
     ~wall:(Unix.gettimeofday () -. t0)
     ~arena_cap:0 ~arena_grows:0 ~dropped:!dropped ~retrans:!retrans ~domains:1
     ~barrier_wall:0.0;
@@ -907,7 +948,7 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
   let outcome = if !wl_nxt_len > 0 then Round_limit else Converged in
   if outcome = Round_limit && on_round_limit = `Raise then
     violation "%s: round limit %d reached without quiescence" p.name max_rounds;
-  finish_perf perf ~rounds:!rounds ~steps:!steps ~skipped:!skipped
+  finish_perf perf ~em:em_fast ~rounds:!rounds ~steps:!steps ~skipped:!skipped
     ~messages:!messages ~words:!total_words
     ~wall:(Unix.gettimeofday () -. t0)
     ~arena_cap:(Array.length !cur.link + Array.length !nxt.link)
@@ -1343,7 +1384,7 @@ let run_par ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf ?faults
     done;
     !total
   in
-  finish_perf perf ~rounds:!rounds ~steps:!steps ~skipped:!skipped
+  finish_perf perf ~em:em_par ~rounds:!rounds ~steps:!steps ~skipped:!skipped
     ~messages:!messages ~words:!total_words
     ~wall:(Unix.gettimeofday () -. t0)
     ~arena_cap ~arena_grows:!arena_grows ~dropped:!dropped ~retrans ~domains:nd

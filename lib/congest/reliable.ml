@@ -1,7 +1,24 @@
+module Metrics = Ln_obs.Metrics
+
 type 'm envelope = { ack : int; data : (int * 'm) option }
 
 let rto = 2
 let word_overhead = 2
+
+(* Registry counters. These fire inside [step], which runs on worker
+   domains under [run_par] — exactly the case the registry's
+   per-domain shards exist for: the increments land in each worker's
+   own shard and sum deterministically at snapshot time, mirroring how
+   [Engine.count_retransmission] attributes into per-domain cells. *)
+let m_retrans =
+  Metrics.counter
+    ~help:"Stop-and-wait ARQ retransmissions (duplicate data envelopes)."
+    "lightnet_reliable_retransmissions_total"
+
+let m_gave_up =
+  Metrics.counter
+    ~help:"Payloads abandoned on links that exhausted their retries."
+    "lightnet_reliable_gave_up_total"
 
 (* Per-incident-link connection state. Outgoing direction: [next_seq],
    [inflight] (at most one unacknowledged payload — stop-and-wait),
@@ -69,7 +86,8 @@ let advance ~max_retries ~must_ack l =
     | Some (s, m) ->
       let age = l.age + 1 in
       if age < rto then ({ l with age }, ack_only (), 0)
-      else if l.retries >= max_retries then
+      else if l.retries >= max_retries then begin
+        if Metrics.on () then Metrics.add m_gave_up (pending l);
         ( {
             l with
             dead = true;
@@ -80,8 +98,10 @@ let advance ~max_retries ~must_ack l =
           },
           ack_only (),
           pending l )
+      end
       else begin
         Engine.count_retransmission ();
+        if Metrics.on () then Metrics.incr m_retrans;
         ( { l with age = 0; retries = l.retries + 1 },
           Some { ack = l.expected; data = Some (s, m) },
           0 )
@@ -180,7 +200,10 @@ let lift ?(max_retries = 32) (p : ('s, 'm) Engine.program) :
     List.iter
       (fun ({ via; msg } : 'm Engine.send) ->
         let i = link_index ctx via in
-        if links.(i).dead then incr gave
+        if links.(i).dead then begin
+          Stdlib.incr gave;
+          if Metrics.on () then Metrics.incr m_gave_up
+        end
         else links.(i) <- enqueue links.(i) msg)
       inner_sends;
     (* Send phase: one envelope per link at most — stop-and-wait keeps

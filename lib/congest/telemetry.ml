@@ -1,3 +1,5 @@
+module Metrics = Ln_obs.Metrics
+
 type event =
   | Span_begin of { id : int; parent : int; name : string; r0 : int; t : float }
   | Span_end of {
@@ -278,7 +280,16 @@ let to_jsonl t =
 (* Chrome trace-event format. Virtual time axis: one executed engine
    round = one microsecond tick; rounds accumulate across engine runs
    (the same clock as [Span_begin.r0]). *)
-let to_chrome t =
+(* A metric rendered for humans: name{k=v,...}. *)
+let metric_display (m : Metrics.metric) =
+  match m.Metrics.labels with
+  | [] -> m.Metrics.name
+  | labels ->
+    m.Metrics.name ^ "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+let to_chrome ?metrics t =
   let b = Buffer.create 8192 in
   Buffer.add_string b "{\"traceEvents\":[\n";
   let first = ref true in
@@ -333,6 +344,39 @@ let to_chrome t =
              ts drops)
       | Link _ -> ())
     t.events;
+  (* Registry bridge: when a metrics snapshot accompanies the trace,
+     append one counter-track sample per metric at the final virtual
+     timestamp — histograms as their quantile estimates — so Perfetto
+     shows the run's aggregate metrics next to its round timeseries
+     without any second bookkeeping pass. *)
+  (match metrics with
+  | None -> ()
+  | Some snap ->
+    List.iter
+      (fun (m : Metrics.metric) ->
+        let nb = Buffer.create 64 in
+        add_json_string nb ("metrics/" ^ metric_display m);
+        let name = Buffer.contents nb in
+        match m.Metrics.value with
+        | Metrics.Counter v ->
+          ev
+            (Printf.sprintf
+               {|{"ph":"C","pid":1,"tid":1,"ts":%d,"name":%s,"args":{"value":%d}}|}
+               !cum name v)
+        | Metrics.Gauge v ->
+          ev
+            (Printf.sprintf
+               {|{"ph":"C","pid":1,"tid":1,"ts":%d,"name":%s,"args":{"value":%.6g}}|}
+               !cum name v)
+        | Metrics.Histogram hs ->
+          ev
+            (Printf.sprintf
+               {|{"ph":"C","pid":1,"tid":1,"ts":%d,"name":%s,"args":{"count":%d,"p50":%.6g,"p90":%.6g,"p99":%.6g}}|}
+               !cum name hs.Metrics.h_count
+               (Metrics.quantile hs 0.50)
+               (Metrics.quantile hs 0.90)
+               (Metrics.quantile hs 0.99)))
+      snap);
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\",\n\"lightnet\":{";
   Printf.bprintf b "\"version\":1,\"rounds\":%d,\"wall\":%.6f,\"events\":[\n"
     t.rounds t.wall;
@@ -345,14 +389,33 @@ let to_chrome t =
   Buffer.add_string b "\n]}}\n";
   Buffer.contents b
 
-let write_file t path =
+let write_file ?metrics t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc
         (if Filename.check_suffix path ".jsonl" then to_jsonl t
-         else to_chrome t))
+         else to_chrome ?metrics t))
+
+(* The other half of the bridge: fold histogram summaries into a
+   construction's ledger notes, so a logged run carries its latency
+   shape alongside seeds and parameters. *)
+let note_metrics ledger (snap : Metrics.snapshot) =
+  List.iter
+    (fun (m : Metrics.metric) ->
+      match m.Metrics.value with
+      | Metrics.Histogram hs when hs.Metrics.h_count > 0 ->
+        Ledger.note ledger
+          ~label:("metrics/" ^ metric_display m)
+          (Printf.sprintf "count=%d p50=%.4g p90=%.4g p99=%.4g max=%.4g"
+             hs.Metrics.h_count
+             (Metrics.quantile hs 0.50)
+             (Metrics.quantile hs 0.90)
+             (Metrics.quantile hs 0.99)
+             hs.Metrics.h_max)
+      | _ -> ())
+    snap
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON parser (for [load_file] — traces are machine-written,

@@ -117,14 +117,23 @@ val to_jsonl : t -> string
 (** Chrome trace-event JSON (load in Perfetto / chrome://tracing).
     Spans become duration events and round samples counter tracks on a
     virtual time axis where one engine round is one microsecond tick.
-    The full event stream is also embedded under a top-level
-    ["lightnet"] key (ignored by viewers) so the file round-trips
-    through {!load_file} losslessly. *)
-val to_chrome : t -> string
+    When a [metrics] snapshot is given, each metric is appended as a
+    ["metrics/..."] counter track at the final timestamp (histograms
+    as their p50/p90/p99 estimates) — one run, both views. The full
+    event stream is also embedded under a top-level ["lightnet"] key
+    (ignored by viewers) so the file round-trips through {!load_file}
+    losslessly. *)
+val to_chrome : ?metrics:Ln_obs.Metrics.snapshot -> t -> string
 
 (** [write_file t path] writes {!to_jsonl} if [path] ends in
-    [.jsonl], {!to_chrome} otherwise. *)
-val write_file : t -> string -> unit
+    [.jsonl], {!to_chrome} otherwise. [metrics] is forwarded to
+    {!to_chrome} (and ignored for JSONL). *)
+val write_file : ?metrics:Ln_obs.Metrics.snapshot -> t -> string -> unit
+
+(** Fold a metrics snapshot into a ledger: every non-empty histogram
+    becomes a [metrics/<name>] note with count/p50/p90/p99/max — the
+    registry-to-ledger half of the observability bridge. *)
+val note_metrics : Ledger.t -> Ln_obs.Metrics.snapshot -> unit
 
 (** Load a trace written by {!write_file} (either format).
     @raise Failure on unparseable input. *)

@@ -28,7 +28,10 @@
     - {!Scenario}, {!Scenario_runner} — declarative chaos scenarios:
       topology + workload + fault schedule + SLO assertions in one
       value, compiled onto the stack above and judged by the
-      certifiers (see DESIGN.md "Scenario layer"). *)
+      certifiers (see DESIGN.md "Scenario layer");
+    - {!Metrics}, {!Obs_json} — the always-on observability substrate:
+      domain-safe counters/gauges/histograms with Prometheus and
+      deterministic JSON export (see DESIGN.md "Metrics registry"). *)
 
 module Graph = Ln_graph.Graph
 module Paths = Ln_graph.Paths
@@ -41,6 +44,8 @@ module Graph_io = Ln_graph.Graph_io
 module Stats = Ln_graph.Stats
 module Union_find = Ln_graph.Union_find
 module Pqueue = Ln_graph.Pqueue
+module Metrics = Ln_obs.Metrics
+module Obs_json = Ln_obs.Obs_json
 module Engine = Ln_congest.Engine
 module Ledger = Ln_congest.Ledger
 module Trace = Ln_congest.Trace

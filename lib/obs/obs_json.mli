@@ -1,0 +1,54 @@
+(** Minimal JSON values: parser and printer helpers.
+
+    The observability layer both emits and re-reads machine-written
+    JSON (deterministic metrics snapshots, BENCH_*.json headers), so
+    this only needs to cover the JSON we produce ourselves — no
+    streaming, no number-preservation exotica. Kept in [ln_obs] so the
+    bottom of the dependency stack (and tools like [bench_diff]) can
+    parse JSON without pulling in the engine. *)
+
+type v =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of v list
+  | Obj of (string * v) list
+
+exception Error of string
+
+val parse : string -> v
+(** Parse a complete JSON document. Raises {!Error} on malformed
+    input, including trailing garbage. *)
+
+val parse_file : string -> v
+(** [parse_file path] reads and parses [path]. Raises {!Error} on
+    malformed JSON and [Sys_error] on IO failure. *)
+
+(** {1 Accessors}
+
+    Total accessors return [Null]/[None] rather than raising, so
+    callers can probe optional structure; the [to_*] coercions raise
+    {!Error} when the shape is wrong. *)
+
+val member : string -> v -> v
+(** Object field lookup; [Null] when absent or not an object. *)
+
+val path : string list -> v -> v
+(** Nested {!member}: [path ["a"; "b"] v] is [member "b" (member "a" v)]. *)
+
+val to_list : v -> v list
+val to_string : v -> string
+val to_float : v -> float
+val to_int : v -> int
+val to_float_opt : v -> float option
+val to_int_opt : v -> int option
+val to_string_opt : v -> string option
+
+(** {1 Printing} *)
+
+val escape : string -> string
+(** JSON string escaping, including the surrounding quotes. *)
+
+val add_escaped : Buffer.t -> string -> unit
+(** Buffer version of {!escape}. *)

@@ -1,6 +1,7 @@
 module Graph = Ln_graph.Graph
 module Tree = Ln_graph.Tree
 module Paths = Ln_graph.Paths
+module Metrics = Ln_obs.Metrics
 
 type tier = Spanner | Label | Cache
 
@@ -20,6 +21,30 @@ let pp_tier ppf t = Format.pp_print_string ppf (tier_name t)
 type answer = { dist : float; tier : tier; cache_hit : bool }
 
 type cache_stats = { hits : int; misses : int; evictions : int; entries : int }
+
+(* Always-on serving counters: per-tier query totals plus the shared
+   source-cache accounting (summed across every oracle in the
+   process; the per-oracle view stays in [cache_stats]). Updates are
+   one ref read when no exporter is attached. *)
+let m_query =
+  let q tier =
+    Metrics.counter ~help:"Oracle queries answered."
+      ~labels:[ ("tier", tier_name tier) ]
+      "lightnet_oracle_queries_total"
+  in
+  let spanner = q Spanner and label = q Label and cache = q Cache in
+  function Spanner -> spanner | Label -> label | Cache -> cache
+
+let m_hits =
+  Metrics.counter ~help:"Source-cache hits." "lightnet_oracle_cache_hits_total"
+
+let m_misses =
+  Metrics.counter ~help:"Source-cache misses (exact SSSP rebuilds)."
+    "lightnet_oracle_cache_misses_total"
+
+let m_evictions =
+  Metrics.counter ~help:"Source-cache LRU evictions."
+    "lightnet_oracle_cache_evictions_total"
 
 (* Single-source LRU: full Dijkstra-on-H distance arrays keyed by
    source vertex. Capacities are small (each entry is O(n) floats), so
@@ -83,7 +108,8 @@ let evict_stalest lru =
     lru.table;
   if !victim >= 0 then begin
     Hashtbl.remove lru.table !victim;
-    lru.evictions <- lru.evictions + 1
+    lru.evictions <- lru.evictions + 1;
+    if Metrics.on () then Metrics.incr m_evictions
   end
 
 let cached_sssp t src =
@@ -92,16 +118,19 @@ let cached_sssp t src =
   match Hashtbl.find_opt lru.table src with
   | Some (dist, stamp) ->
     lru.hits <- lru.hits + 1;
+    if Metrics.on () then Metrics.incr m_hits;
     stamp := lru.clock;
     (dist, true)
   | None ->
     lru.misses <- lru.misses + 1;
+    if Metrics.on () then Metrics.incr m_misses;
     let dist = spanner_sssp t src in
     if Hashtbl.length lru.table >= lru.capacity then evict_stalest lru;
     Hashtbl.replace lru.table src (dist, ref lru.clock);
     (dist, false)
 
 let query t ~tier u v =
+  if Metrics.on () then Metrics.incr (m_query tier);
   match tier with
   | Spanner -> { dist = (spanner_sssp t u).(v); tier; cache_hit = false }
   | Label -> { dist = Labels.dist t.labels u v; tier; cache_hit = false }

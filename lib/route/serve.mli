@@ -5,6 +5,18 @@
     checksum of the answered distances (a cheap replay invariant:
     same artifact + workload + tier must reproduce it bit-for-bit).
 
+    Latency percentiles are streamed through a constant-memory
+    log-bucketed histogram ({!Ln_obs.Metrics.Hist}) for large
+    batches — O(buckets), not O(queries), scratch — with relative
+    error at most 1%; batches of at most {!exact_threshold} queries
+    fall back to the exact sorted-array computation so tiny-batch
+    percentiles keep their exact meaning. Each query latency is also
+    observed into the process-wide [lightnet_serve_latency_us]
+    registry histogram when metrics are enabled, and [run]'s
+    [snapshot_every]/[on_snapshot] hook surfaces periodic registry
+    snapshots from inside the loop — the serving tier's live scrape
+    point.
+
     {!certify} replays a sample of answers against exact Dijkstra
     distances on the source graph G and renders a verdict in
     {!Ln_congest.Monitor}'s vocabulary: {!Ln_congest.Monitor.Correct}
@@ -25,7 +37,27 @@ type outcome = {
   checksum : float;  (** sum of answered distances *)
 }
 
-val run : Oracle.t -> tier:Oracle.tier -> (int * int) array -> outcome
+val run :
+  ?snapshot_every:int ->
+  ?on_snapshot:(Ln_obs.Metrics.snapshot -> unit) ->
+  Oracle.t ->
+  tier:Oracle.tier ->
+  (int * int) array ->
+  outcome
+(** [snapshot_every] (default 0 = never) triggers [on_snapshot] with a
+    fresh {!Ln_obs.Metrics.snapshot} after every that-many queries. *)
+
+val exact_threshold : int
+(** Batches of at most this many queries report exact percentiles. *)
+
+val latency_of_samples : float array -> latency
+(** Exact percentiles of a sample array (rank [ceil (p * n)], the
+    definition BENCH_oracle.json has always used). Does not modify
+    its argument. *)
+
+val latency_of_hist : Ln_obs.Metrics.Hist.t -> latency
+(** Streaming percentiles of a histogram: each within the histogram's
+    relative-error bound of the exact value; [max_us] is exact. *)
 
 (** Cache hit fraction of a batch: hits / (hits + misses), 0.0 when
     the tier touched no cache counters (never [nan]). *)

@@ -15,6 +15,7 @@ module Artifact = Ln_route.Artifact
 module Oracle = Ln_route.Oracle
 module Workload = Ln_route.Workload
 module Serve = Ln_route.Serve
+module Metrics = Ln_obs.Metrics
 
 type step_result = {
   label : string;
@@ -340,6 +341,63 @@ let judge (s : Scenario.t) steps ~rounds ~retrans =
   in
   convergence :: List.map of_slo s.slos
 
+(* ------------------------------------------------------------------ *)
+(* Registry gauges: a fleet scraping a long scenario sweep sees the
+   latest verdict and how much SLO headroom is left. Margins are
+   signed slack in the bound's own unit (positive = passing). p99
+   margins are wall-clock-derived, hence registered unstable so they
+   stay out of deterministic JSON snapshots. *)
+
+let slo_kind = function
+  | Scenario.Verdict _ -> "verdict"
+  | Scenario.Rounds _ -> "rounds"
+  | Scenario.Max_retrans _ -> "max_retrans"
+  | Scenario.Max_stretch _ -> "max_stretch"
+  | Scenario.P99_us _ -> "p99_us"
+  | Scenario.Min_delivered _ -> "min_delivered"
+  | Scenario.Min_hit_rate _ -> "min_hit_rate"
+
+let record_metrics (r : result) =
+  if Metrics.on () then begin
+    let labels = [ ("scenario", r.scenario.Scenario.name) ] in
+    Metrics.set
+      (Metrics.gauge ~help:"1 if every check of the last run passed."
+         ~labels "lightnet_scenario_ok")
+      (if r.ok then 1.0 else 0.0);
+    Metrics.add
+      (Metrics.counter ~help:"Scenario checks evaluated." ~labels
+         "lightnet_scenario_checks_total")
+      (List.length r.checks);
+    Metrics.add
+      (Metrics.counter ~help:"Scenario checks failed." ~labels
+         "lightnet_scenario_check_failures_total")
+      (List.length (List.filter (fun c -> not c.pass) r.checks));
+    (* [judge] emits the convergence check first, then one check per
+       SLO in order; walk the two lists in lockstep for the margins. *)
+    match r.checks with
+    | [] -> ()
+    | _convergence :: slo_checks ->
+      List.iter2
+        (fun slo c ->
+          match (c.value, c.bound) with
+          | Some v, Some b ->
+            let margin, stable =
+              match slo with
+              | Scenario.Min_delivered _ | Scenario.Min_hit_rate _ ->
+                (v -. b, true)
+              | Scenario.P99_us _ -> (b -. v, false)
+              | _ -> (b -. v, true)
+            in
+            Metrics.set
+              (Metrics.gauge ~stable
+                 ~help:"Signed SLO slack of the last run (positive = passing)."
+                 ~labels:(("slo", slo_kind slo) :: labels)
+                 "lightnet_scenario_slo_margin")
+              margin
+          | _ -> ())
+        r.scenario.Scenario.slos slo_checks
+  end
+
 let run (s : Scenario.t) =
   Telemetry.span ("scenario/" ^ s.name) @@ fun () ->
   let source =
@@ -362,18 +420,22 @@ let run (s : Scenario.t) =
   let checks =
     judge s steps ~rounds:p.Engine.rounds ~retrans:p.Engine.retransmissions
   in
-  {
-    scenario = s;
-    nodes = Graph.n g;
-    edges = Graph.m g;
-    plan = Fault.describe plan;
-    steps;
-    rounds = p.Engine.rounds;
-    drops = p.Engine.dropped_messages;
-    retrans = p.Engine.retransmissions;
-    checks;
-    ok = List.for_all (fun c -> c.pass) checks;
-  }
+  let r =
+    {
+      scenario = s;
+      nodes = Graph.n g;
+      edges = Graph.m g;
+      plan = Fault.describe plan;
+      steps;
+      rounds = p.Engine.rounds;
+      drops = p.Engine.dropped_messages;
+      retrans = p.Engine.retransmissions;
+      checks;
+      ok = List.for_all (fun c -> c.pass) checks;
+    }
+  in
+  record_metrics r;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Rendering. *)

@@ -418,6 +418,33 @@ let test_certify_correct_and_wrong () =
   let sampled = Serve.certify ~sample:50 oracle ~tier:Oracle.Cache ~bound:10.0 pairs in
   check_int "sample honoured" 50 sampled.Serve.sampled
 
+(* Pin the tiny-batch latency contract: batches at or under
+   Serve.exact_threshold report *exact* sorted-array percentiles (the
+   rank-ceil(p*n) definition BENCH_oracle.json has always used), and
+   the streaming histogram path used above the threshold agrees with
+   the exact values to within its relative-error bound. *)
+let test_latency_exact_fallback () =
+  check_int "exact threshold pinned" 1024 Serve.exact_threshold;
+  let lat = Serve.latency_of_samples [| 5.0; 1.0; 4.0; 2.0; 3.0 |] in
+  check "p50 = rank 3 of 5" true (lat.Serve.p50_us = 3.0);
+  check "p90 = rank 5 of 5" true (lat.Serve.p90_us = 5.0);
+  check "p99 = rank 5 of 5" true (lat.Serve.p99_us = 5.0);
+  check "max exact" true (lat.Serve.max_us = 5.0);
+  let one = Serve.latency_of_samples [| 7.5 |] in
+  check "singleton batch is its own percentile" true
+    (one.Serve.p50_us = 7.5 && one.Serve.p99_us = 7.5 && one.Serve.max_us = 7.5);
+  let n = 10_000 in
+  let samples = Array.init n (fun i -> float_of_int (1 + ((i * 7919) mod n))) in
+  let h = Ln_obs.Metrics.Hist.create () in
+  Array.iter (Ln_obs.Metrics.Hist.observe h) samples;
+  let exact = Serve.latency_of_samples samples in
+  let stream = Serve.latency_of_hist h in
+  let close a b = Float.abs (a -. b) <= 1.05 *. Ln_obs.Metrics.Hist.error h *. b in
+  check "streaming p50 within bound" true (close stream.Serve.p50_us exact.Serve.p50_us);
+  check "streaming p90 within bound" true (close stream.Serve.p90_us exact.Serve.p90_us);
+  check "streaming p99 within bound" true (close stream.Serve.p99_us exact.Serve.p99_us);
+  check "streaming max is exact" true (stream.Serve.max_us = exact.Serve.max_us)
+
 let () =
   Alcotest.run "ln_route"
     [
@@ -453,6 +480,8 @@ let () =
         [
           Alcotest.test_case "checksum replayable" `Quick
             test_serve_checksum_replayable;
+          Alcotest.test_case "tiny-batch latency exact" `Quick
+            test_latency_exact_fallback;
           Alcotest.test_case "certify correct + wrong" `Quick
             test_certify_correct_and_wrong;
         ] );

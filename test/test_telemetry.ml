@@ -266,6 +266,36 @@ let prop_telemetry_differential =
          droppable; tiny graphs can legitimately coincide, so no
          assertion on [plain <> fault] here. *))
 
+(* ------------------------------------------------------------------ *)
+(* Registry-to-ledger bridge: histogram series from a metrics
+   snapshot become metrics/ notes; counters and gauges (already in
+   the ledger's perf section) are not duplicated. *)
+
+let test_note_metrics_bridge () =
+  let module Metrics = Ln_obs.Metrics in
+  let h = Metrics.histogram "test_tel_bridge_us" in
+  let c = Metrics.counter "test_tel_bridge_total" in
+  Metrics.reset ();
+  Metrics.set_on true;
+  Metrics.add c 5;
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 3.0; 40.0 ];
+  Metrics.set_on false;
+  let lg = Ledger.create () in
+  Telemetry.note_metrics lg (Metrics.snapshot ());
+  let notes = Ledger.notes lg in
+  let labelled l = List.exists (fun (k, _) -> k = l) notes in
+  Alcotest.(check bool) "histogram noted" true
+    (labelled "metrics/test_tel_bridge_us");
+  Alcotest.(check bool) "counter not duplicated into notes" false
+    (labelled "metrics/test_tel_bridge_total");
+  (match List.assoc_opt "metrics/test_tel_bridge_us" notes with
+  | Some body ->
+    Alcotest.(check bool) "note carries the count" true
+      (String.length body > 0
+      && String.sub body 0 8 = "count=4 ")
+  | None -> Alcotest.fail "note body missing");
+  Metrics.reset ()
+
 (* Fixed QCheck seed: dune runtest must be deterministic. *)
 let qcheck t =
   QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x7e1e |]) t
@@ -293,6 +323,8 @@ let () =
             test_export_roundtrip;
           Alcotest.test_case "leaf coverage on light spanner" `Quick
             test_leaf_coverage;
+          Alcotest.test_case "metrics-to-ledger bridge" `Quick
+            test_note_metrics_bridge;
         ] );
       ("differential", [ qcheck prop_telemetry_differential ]);
     ]
