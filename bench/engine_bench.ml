@@ -1183,6 +1183,201 @@ let run_rmat ~smoke =
           ] );
     ]
 
+(* ------------------------------------------------------------------ *)
+(* CONGEST engine at Graph500 scale: run_fast on raw RMAT draws
+   (power-law degrees, hub inbox chains, no connectivity repair).
+
+   Three workloads:
+     - relaxing BFS at scales 16/18/20 (the headline: the engine
+       itself at n = 10^6),
+     - a max-id flood at the auxiliary scale — every vertex announces
+       improvements, so rounds are dense and the direction-optimizing
+       dense path carries the run,
+     - Baswana–Sen (k=2) at the auxiliary scale — the paper pipeline's
+       cluster-exchange pattern through the dispatching Engine.run.
+
+   Also measured here, because they are the point of the flat-ctx
+   rewrite:
+     - neighbor-view residency: the flat ctx aliases the graph's CSR
+       columns (a fixed-size record), while the old tuple view paid
+       ~8m + 2n boxed words; we force the deprecated rows on the
+       largest graph and report both deltas and their ratio,
+     - warm scratch acquisition: the stamp guards removed four O(n)
+       Array.fills per acquire; we time exactly that removed work at
+       the largest n next to a trivial engine run on the same graph. *)
+
+let max_id_flood : (int, int) Engine.program =
+  let open Engine in
+  let announce ctx v =
+    let msg = v in
+    List.rev
+      (ctx_fold_neighbors ctx (fun acc edge _ -> { via = edge; msg } :: acc) [])
+  in
+  {
+    name = "max-id-flood";
+    words = (fun _ -> 1);
+    init = (fun ctx -> (ctx.me, announce ctx ctx.me));
+    step =
+      (fun ctx ~round:_ s inbox ->
+        let best =
+          List.fold_left
+            (fun acc (r : int received) -> if r.payload > acc then r.payload else acc)
+            s inbox
+        in
+        if best > s then (best, announce ctx best, false) else (s, [], false));
+  }
+
+let run_engine_rmat ~smoke =
+  Printf.printf "engine at rmat scale (run_fast)\n%!";
+  let edge_factor = 16 in
+  let mk scale =
+    let rng = Random.State.make [| 0x9a7501; scale |] in
+    let n = 1 lsl scale in
+    let us, vs, ws = Gen.rmat_edges rng ~scale ~edge_factor () in
+    Graph.of_edge_arrays ~n us vs ws
+  in
+  let root_of g =
+    let best = ref 0 in
+    for v = 1 to Graph.n g - 1 do
+      if Graph.degree g v > Graph.degree g !best then best := v
+    done;
+    !best
+  in
+  let perf_row ~label ~g ~wall (p : Engine.perf) =
+    Printf.printf
+      "  %-14s n=%d m=%d  %d rounds  %d msgs  %.0f rounds/s  %.3g msgs/s  skip %.1f%%  arena %d slots (%d grows)  %.2fs\n%!"
+      label (Graph.n g) (Graph.m g) p.Engine.rounds p.Engine.messages
+      (Engine.rounds_per_sec p) (Engine.messages_per_sec p)
+      (100.0 *. Engine.skip_ratio p)
+      p.Engine.arena_cap p.Engine.arena_grows wall;
+    Json.Obj
+      [
+        ("workload", Json.Str label);
+        ("n", Json.Int (Graph.n g));
+        ("m", Json.Int (Graph.m g));
+        ("rounds", Json.Int p.Engine.rounds);
+        ("messages", Json.Int p.Engine.messages);
+        ("rounds_per_sec", Json.Float (Engine.rounds_per_sec p));
+        ("messages_per_sec", Json.Float (Engine.messages_per_sec p));
+        ("skip_ratio", Json.Float (Engine.skip_ratio p));
+        ("peak_arena_slots", Json.Int p.Engine.arena_cap);
+        ("arena_grows", Json.Int p.Engine.arena_grows);
+        ("wall_seconds", Json.Float wall);
+        ("peak_rss_kb", Json.Int (Bench_env.peak_rss_kb ()));
+      ]
+  in
+  let bfs_scales = if smoke then [ 8; 10 ] else [ 16; 18; 20 ] in
+  let aux_scale = if smoke then 8 else 16 in
+  (* Auxiliary workloads first so the largest BFS graph is the live one
+     when the memory section below measures it. *)
+  let g_aux = mk aux_scale in
+  let flood_row =
+    let perf = Engine.create_perf () in
+    let t0 = Unix.gettimeofday () in
+    let _ = Engine.run_fast ~perf g_aux max_id_flood in
+    perf_row
+      ~label:(spf "flood@%d" aux_scale)
+      ~g:g_aux
+      ~wall:(Unix.gettimeofday () -. t0)
+      perf
+  in
+  let spanner_row =
+    let before = Engine.snapshot_totals () in
+    let t0 = Unix.gettimeofday () in
+    let sp =
+      Baswana_sen.build ~rng:(Random.State.make [| 0xb5; aux_scale |]) ~k:2 g_aux
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let p = Engine.totals_since before in
+    Printf.printf "  spanner@%d: %d edges kept, %d native rounds\n%!" aux_scale
+      (List.length sp.Baswana_sen.edges) sp.Baswana_sen.rounds;
+    perf_row ~label:(spf "baswana-sen@%d" aux_scale) ~g:g_aux ~wall p
+  in
+  let bfs_rows, g_last, root_last =
+    List.fold_left
+      (fun (rows, _, _) scale ->
+        let g = mk scale in
+        let root = root_of g in
+        let perf = Engine.create_perf () in
+        let t0 = Unix.gettimeofday () in
+        let _ = Engine.run_fast ~perf g (Bfs.relaxing_program ~root) in
+        let wall = Unix.gettimeofday () -. t0 in
+        let row = perf_row ~label:(spf "bfs@%d" scale) ~g ~wall perf in
+        (row :: rows, Some g, root))
+      ([], None, 0) bfs_scales
+  in
+  let bfs_rows = List.rev bfs_rows in
+  let g_big = Option.get g_last in
+  let n_big = Graph.n g_big in
+  (* Neighbor-view residency, flat ctx vs forced tuple rows. *)
+  let live () =
+    Gc.full_major ();
+    (Gc.stat ()).Gc.live_words
+  in
+  let live0 = live () in
+  let _ = Engine.run_fast g_big (Bfs.relaxing_program ~root:root_last) in
+  let live_flat = live () in
+  let flat_delta = max 0 (live_flat - live0) in
+  for v = 0 to n_big - 1 do
+    ignore (Graph.neighbors g_big v)
+  done;
+  let live_tuple = live () in
+  let tuple_delta = max 0 (live_tuple - live_flat) in
+  let ratio = float_of_int tuple_delta /. float_of_int (max 1 flat_delta) in
+  Printf.printf
+    "  neighbor view @ n=%d: flat ctx +%d words resident, tuple rows +%d words (%.3g Mw) — %.0fx\n%!"
+    n_big flat_delta tuple_delta
+    (float_of_int tuple_delta /. 1e6)
+    ratio;
+  (* Warm scratch acquisition: the stamp guards deleted four O(n)
+     Array.fills per acquire. Time that removed work directly, next to
+     a trivial engine run (whose init pass is O(n) by contract — every
+     node starts active — so the fills were a constant factor, not the
+     asymptote; they were still ~half the setup cost of a short run). *)
+  let fills = Array.make n_big 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 4 do
+    Array.fill fills 0 n_big 0
+  done;
+  let t_fills = Unix.gettimeofday () -. t0 in
+  let trivial : (unit, unit) Engine.program =
+    {
+      name = "noop";
+      words = (fun () -> 1);
+      init = (fun _ -> ((), []));
+      step = (fun _ ~round:_ () _ -> ((), [], false));
+    }
+  in
+  let _ = Engine.run_fast g_big trivial (* warm *) in
+  let t0 = Unix.gettimeofday () in
+  let _ = Engine.run_fast g_big trivial in
+  let t_trivial = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "  warm acquire @ n=%d: removed 4x Array.fill = %.4fs; trivial warm run now %.4fs\n%!"
+    n_big t_fills t_trivial;
+  Json.Obj
+    [
+      ("edge_factor", Json.Int edge_factor);
+      ("bfs", Json.List bfs_rows);
+      ("flood", flood_row);
+      ("spanner", spanner_row);
+      ( "memory",
+        Json.Obj
+          [
+            ("n", Json.Int n_big);
+            ("flat_ctx_resident_words", Json.Int flat_delta);
+            ("tuple_rows_resident_words", Json.Int tuple_delta);
+            ("tuple_over_flat_ratio", Json.Float ratio);
+          ] );
+      ( "warm_acquire",
+        Json.Obj
+          [
+            ("n", Json.Int n_big);
+            ("removed_fills_seconds", Json.Float t_fills);
+            ("trivial_warm_run_seconds", Json.Float t_trivial);
+          ] );
+    ]
+
 (* Host facts every BENCH_*.json header carries (PR 6 bench hygiene):
    single-core numbers are meaningless later without the core count,
    and peak RSS anchors the memory-ceiling methodology. *)
@@ -1245,6 +1440,9 @@ let () =
   let telemetry = run_telemetry_overhead ~n:headline_n ~blocks ~reps in
   let metrics = run_metrics_overhead ~n:headline_n ~blocks ~reps in
   let rmat = if headline_only then Json.Obj [] else run_rmat ~smoke in
+  let engine_rmat =
+    if headline_only then Json.Obj [] else run_engine_rmat ~smoke
+  in
   let json =
     Json.Obj
       [
@@ -1259,6 +1457,7 @@ let () =
         ("workloads", Json.List suite);
         ("headline", headline);
         ("rmat", rmat);
+        ("engine_rmat", engine_rmat);
         ("scaling", scaling);
         ("telemetry_overhead", telemetry);
         ("metrics_overhead", metrics);

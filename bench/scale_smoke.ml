@@ -16,6 +16,8 @@ module Gen = Lightnet.Gen
 module Paths = Lightnet.Paths
 module Mst_seq = Lightnet.Mst_seq
 module Artifact = Lightnet.Artifact
+module Engine = Lightnet.Engine
+module Bfs = Lightnet.Bfs
 
 let scale = ref 14
 let edge_factor = ref 16
@@ -71,6 +73,35 @@ let () =
   let t_bfs = Unix.gettimeofday () -. t0 in
   let teps = if t_bfs > 0.0 then !traversed /. t_bfs else 0.0 in
 
+  (* CONGEST-engine leg: relaxing BFS through run_fast on the same
+     graph, so an engine hot-path regression (scratch reacquisition
+     going O(n), inbox chains boxing, the dense round path
+     materializing worklists) trips the same wall/heap ceilings as a
+     substrate regression. Layers are checked against the sequential
+     BFS — the engine must agree, not merely finish. *)
+  let t0 = Unix.gettimeofday () in
+  let root =
+    let r = ref 0 in
+    while Graph.degree g !r = 0 do incr r done;
+    !r
+  in
+  let e_states, e_stats = Engine.run_fast g (Bfs.relaxing_program ~root) in
+  let t_engine = Unix.gettimeofday () -. t0 in
+  let engine_rps =
+    if t_engine > 0.0 then float_of_int e_stats.Engine.rounds /. t_engine
+    else 0.0
+  in
+  let seq_dist = Paths.bfs_hops g root in
+  Array.iteri
+    (fun v (s : Bfs.state) ->
+      if s.Bfs.dist <> seq_dist.(v) then begin
+        Printf.eprintf
+          "scale_smoke: engine BFS layer mismatch at v=%d (engine %d, seq %d)\n"
+          v s.Bfs.dist seq_dist.(v);
+        exit 1
+      end)
+    e_states;
+
   let t0 = Unix.gettimeofday () in
   let forest = Mst_seq.forest g in
   let t_mst = Unix.gettimeofday () -. t0 in
@@ -82,21 +113,32 @@ let () =
       ~params:[ ("scale", string_of_int !scale) ]
       ()
   in
-  let file = Printf.sprintf "scale_smoke_%d.artifact" !scale in
-  Artifact.save file artifact;
-  let reloaded = Artifact.load file in
-  if reloaded.Artifact.digest <> artifact.Artifact.digest then begin
-    prerr_endline "scale_smoke: artifact digest changed across save/load";
-    exit 1
-  end;
+  (* Round-trip through a temp file: `dune exec` runs with cwd = the
+     invocation directory, so a relative path here would strand a
+     multi-megabyte artifact at the repo root (gitignored, but still
+     30 MB of clutter at scale 17). *)
+  let file =
+    Filename.temp_file (Printf.sprintf "scale_smoke_%d_" !scale) ".artifact"
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Artifact.save file artifact;
+      let reloaded = Artifact.load file in
+      if reloaded.Artifact.digest <> artifact.Artifact.digest then begin
+        prerr_endline "scale_smoke: artifact digest changed across save/load";
+        exit 1
+      end);
   let t_artifact = Unix.gettimeofday () -. t0 in
 
   let wall = Unix.gettimeofday () -. t_start in
   let live_w, top_w = Bench_env.heap_words () in
   let rss_kb = Bench_env.peak_rss_kb () in
   Printf.printf
-    "scale-smoke: scale=%d n=%d m=%d | gen %.2fs build %.2fs bfs %.2fs (%.2e TEPS, %d srcs) mst %.2fs artifact %.2fs | wall %.2fs heap top %.1f Mw rss %d MB\n%!"
-    !scale n m t_gen t_build t_bfs teps !srcs_done t_mst t_artifact wall
+    "scale-smoke: scale=%d n=%d m=%d | gen %.2fs build %.2fs bfs %.2fs (%.2e TEPS, %d srcs) engine %.2fs (%d rounds, %.0f rounds/s, %d msgs) mst %.2fs artifact %.2fs | wall %.2fs heap top %.1f Mw rss %d MB\n%!"
+    !scale n m t_gen t_build t_bfs teps !srcs_done t_engine
+    e_stats.Engine.rounds engine_rps e_stats.Engine.messages t_mst t_artifact
+    wall
     (float_of_int top_w /. 1e6)
     (rss_kb / 1024);
 

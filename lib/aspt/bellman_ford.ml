@@ -7,7 +7,12 @@ type ss_state = { d : float; parent : int; pending : bool }
 
 let sssp ?(edge_ok = fun _ -> true) ?init g ~src =
   let open Engine in
-  let allowed ctx = Array.to_list ctx.neighbors |> List.filter (fun (e, _) -> edge_ok e) in
+  let allowed ctx =
+    List.rev
+      (ctx_fold_neighbors ctx
+         (fun acc e _ -> if edge_ok e then e :: acc else acc)
+         [])
+  in
   let init_of v =
     match init with
     | Some a -> a.(v)
@@ -36,7 +41,7 @@ let sssp ?(edge_ok = fun _ -> true) ?init g ~src =
           in
           if s.pending then
             ( { s with pending = false },
-              List.map (fun (e, _) -> { via = e; msg = s.d }) (allowed ctx),
+              List.map (fun e -> { via = e; msg = s.d }) (allowed ctx),
               false )
           else (s, [], false));
     }
@@ -60,7 +65,12 @@ let multi_source ?(edge_ok = fun _ -> true) ?(bound = infinity) g ~srcs =
   let open Engine in
   let is_src = Hashtbl.create (List.length srcs) in
   List.iter (fun s -> Hashtbl.replace is_src s ()) srcs;
-  let allowed ctx = Array.to_list ctx.neighbors |> List.filter (fun (e, _) -> edge_ok e) in
+  let allowed ctx =
+    List.rev
+      (ctx_fold_neighbors ctx
+         (fun acc e _ -> if edge_ok e then e :: acc else acc)
+         [])
+  in
   let enqueue s src =
     if not (Hashtbl.mem s.queued src) then begin
       Hashtbl.replace s.queued src ();
@@ -76,7 +86,7 @@ let multi_source ?(edge_ok = fun _ -> true) ?(bound = infinity) g ~srcs =
       | None -> (s, [], not (Queue.is_empty s.queue))
       | Some (d, _) ->
         ( s,
-          List.map (fun (e, _) -> { via = e; msg = (src, d) }) (allowed ctx),
+          List.map (fun e -> { via = e; msg = (src, d) }) (allowed ctx),
           not (Queue.is_empty s.queue) )
     end
   in

@@ -28,7 +28,12 @@ let local_phase ~edge_ok ~hop_cap g hubs =
   let open Engine in
   let is_hub = Hashtbl.create 64 in
   List.iter (fun h -> Hashtbl.replace is_hub h ()) hubs;
-  let allowed ctx = Array.to_list ctx.neighbors |> List.filter (fun (e, _) -> edge_ok e) in
+  let allowed ctx =
+    List.rev
+      (ctx_fold_neighbors ctx
+         (fun acc e _ -> if edge_ok e then e :: acc else acc)
+         [])
+  in
   let enqueue s h =
     if not (Hashtbl.mem s.queued h) then begin
       Hashtbl.replace s.queued h ();
@@ -43,7 +48,7 @@ let local_phase ~edge_ok ~hop_cap g hubs =
       match Hashtbl.find_opt s.table h with
       | Some (d, _, hops) when hops < hop_cap ->
         ( s,
-          List.map (fun (e, _) -> { via = e; msg = (h, d, hops) }) (allowed ctx),
+          List.map (fun e -> { via = e; msg = (h, d, hops) }) (allowed ctx),
           not (Queue.is_empty s.queue) )
       | _ -> (s, [], not (Queue.is_empty s.queue))
     end

@@ -3,28 +3,102 @@ module Metrics = Ln_obs.Metrics
 
 exception Congest_violation of string
 
+(* Flat per-node context: one record per *run* (not per node), holding
+   the graph's CSR columns plus a mutable [me] cursor the engine points
+   at the node being stepped. The old layout materialized [Array.init n]
+   boxed records each with a per-node [(int * int) array] tuple view —
+   at RMAT scale 20 (n = 2^20, m = 15.6M) that is ~31M three-word tuple
+   boxes plus n record headers, ~750 MB duplicating a CSR we already
+   hold. The accessors below index the shared columns directly, so the
+   resident cost of the neighbor view is now the one record. *)
 type ctx = {
   n : int;
-  me : int;
-  neighbors : (int * int) array;
+  mutable me : int;
   weight : int -> float;
+  off : int array;
+  adj_eid : int array;
+  adj_dst : int array;
+  (* Lazily-built memo for the deprecated [ctx_neighbors] tuple view:
+     row [v] is the boxed [(edge_id, neighbor)] array, or the
+     [unbuilt_row] sentinel. The spine itself is only allocated on the
+     first [ctx_neighbors] call, so programs on the accessor API never
+     pay for it. *)
+  mutable nbr_rows : (int * int) array array;
 }
 
 type 'm received = { from : int; edge : int; payload : 'm }
 type 'm send = { via : int; msg : 'm }
 
-(* The public ctx exposes the historical tuple-array neighbor view.
-   Build it once per node from the graph's flat CSR columns; the
-   per-round hot loops below index these arrays and never touch the
-   graph again. *)
-let ctx_neighbors g v =
-  let deg = Graph.degree g v in
-  let a = Array.make deg (-1, -1) in
-  let i = ref 0 in
-  Graph.iter_neighbors g v (fun id u ->
-      a.(!i) <- (id, u);
-      incr i);
-  a
+let ctx_of g =
+  let gv = Graph.view g in
+  {
+    n = Graph.n g;
+    me = 0;
+    weight = Graph.weight g;
+    off = gv.Graph.off;
+    adj_eid = gv.Graph.adj_eid;
+    adj_dst = gv.Graph.adj_dst;
+    nbr_rows = [||];
+  }
+
+let ctx_degree c = c.off.(c.me + 1) - c.off.(c.me)
+
+let ctx_edge c i =
+  let p = c.off.(c.me) + i in
+  if i < 0 || p >= c.off.(c.me + 1) then
+    invalid_arg "Engine.ctx_edge: neighbor index out of range";
+  c.adj_eid.(p)
+
+let ctx_peer c i =
+  let p = c.off.(c.me) + i in
+  if i < 0 || p >= c.off.(c.me + 1) then
+    invalid_arg "Engine.ctx_peer: neighbor index out of range";
+  c.adj_dst.(p)
+
+let ctx_neighbor c i =
+  let p = c.off.(c.me) + i in
+  if i < 0 || p >= c.off.(c.me + 1) then
+    invalid_arg "Engine.ctx_neighbor: neighbor index out of range";
+  (c.adj_eid.(p), c.adj_dst.(p))
+
+let ctx_iter_neighbors c f =
+  let eid = c.adj_eid and dst = c.adj_dst in
+  for p = c.off.(c.me) to c.off.(c.me + 1) - 1 do
+    f eid.(p) dst.(p)
+  done
+
+let ctx_fold_neighbors c f init =
+  let eid = c.adj_eid and dst = c.adj_dst in
+  let acc = ref init in
+  for p = c.off.(c.me) to c.off.(c.me + 1) - 1 do
+    acc := f !acc eid.(p) dst.(p)
+  done;
+  !acc
+
+(* Deprecated tuple-array view, kept for external API compatibility
+   (the grep gate in test/dune bans it in lib/). Rows are built lazily
+   from the CSR columns and memoized per node, exactly like the
+   graph module's deprecated tuple-row accessor: callers pay the boxed
+   representation into existence, accessor users never do. *)
+let unbuilt_row : (int * int) array = [| (min_int, min_int) |]
+
+let ctx_neighbors c =
+  if c.n = 0 then [||]
+  else begin
+    if Array.length c.nbr_rows = 0 then
+      c.nbr_rows <- Array.make c.n unbuilt_row;
+    let row = c.nbr_rows.(c.me) in
+    if row != unbuilt_row then row
+    else begin
+      let lo = c.off.(c.me) in
+      let deg = c.off.(c.me + 1) - lo in
+      let built =
+        Array.init deg (fun i -> (c.adj_eid.(lo + i), c.adj_dst.(lo + i)))
+      in
+      c.nbr_rows.(c.me) <- built;
+      built
+    end
+  end
 
 type ('s, 'm) program = {
   name : string;
@@ -328,10 +402,10 @@ let run_reference ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
   let probe_run = probe_run_id probe in
   let t0 = Unix.gettimeofday () in
   let n = Graph.n g in
-  let ctx_of v =
-    { n; me = v; neighbors = ctx_neighbors g v; weight = Graph.weight g }
-  in
-  let ctxs = Array.init n ctx_of in
+  (* One shared context; [c.me] is pointed at the node about to run.
+     The ctx handed to [init]/[step] is only valid for the duration of
+     that call (documented in the mli). *)
+  let c = ctx_of g in
   let active = Array.make n true in
   (* Messages in flight, to be delivered at the start of the next
      round: per destination vertex. *)
@@ -417,7 +491,11 @@ let run_reference ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
   in
   (* Round 0: init. *)
   Hashtbl.reset sent_this_round;
-  let inits = Array.init n (fun v -> p.init ctxs.(v)) in
+  let inits =
+    Array.init n (fun v ->
+        c.me <- v;
+        p.init c)
+  in
   let states = Array.map fst inits in
   Array.iteri (fun v (_, outs) -> deliver ~sender:v outs) inits;
   emit_sample ~round:0 ~active_now:n;
@@ -452,7 +530,8 @@ let run_reference ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
       end
       else if active.(v) || msgs <> [] then begin
         incr steps;
-        let s, outs, still = p.step ctxs.(v) ~round:!rounds states.(v) msgs in
+        c.me <- v;
+        let s, outs, still = p.step c ~round:!rounds states.(v) msgs in
         states.(v) <- s;
         active.(v) <- still;
         if still then incr round_active;
@@ -564,22 +643,45 @@ type 'm arena = {
 (* Per-graph scratch state, reused across runs on the same graph (the
    common shape: one graph, many engine invocations). Everything in
    here is monomorphic — message-typed buffers (the arenas) stay
-   per-run. [stamp] makes [sent_round] validity monotonic across runs,
-   so the 2m-entry array is written once per graph and never reset.
-   One slot, keyed by physical equality; [busy] falls back to fresh
-   allocation under reentrancy (a program stepping the engine). *)
+   per-run. [stamp] makes every per-node/per-edge validity check
+   monotonic across runs, so none of the O(n)/O(m) arrays is ever
+   reset: a warm [acquire_scratch] is O(1). The stamp discipline
+   (with [stamp_base] = the run's [stamp], [last_stamp] = [stamp_base]
+   + round):
+
+   - [sent_round.(edge*2+dir)] carried a message iff it equals
+     [last_stamp] (duplicate-send cap check).
+   - [s_idle.(v)]: v is *inactive* iff it equals [stamp_base]; any
+     other value (0, or a stale stamp from an earlier run, both
+     strictly below this run's [stamp_base]) means active — which
+     makes "every node starts active" free.
+   - [q_stamp.(v)]: v is already queued in [wl_nxt] for round
+     [s] iff it equals [stamp_base + s] (membership dedup only; the
+     worklist itself is the source of truth).
+   - [hs_a]/[hs_b] stamp the [head_a]/[head_b] inbox-chain heads:
+     [head.(v)] is a live chain for round [s] iff [hs.(v) =
+     stamp_base + s]. Stale heads (earlier rounds, earlier runs, or a
+     run cut off by a round limit) simply expire instead of being
+     cleared entry-by-entry.
+
+   Release stamps the scratch with [last_stamp + 1], strictly above
+   every stamp the finished run wrote, so no stale entry can collide
+   with a later run. [make_scratch] starts at 1 because 0 is the
+   "active" value of a fresh [s_idle]. One slot, keyed by physical
+   equality; [busy] falls back to fresh allocation under reentrancy (a
+   program stepping the engine). *)
 type scratch = {
   sg : Graph.t;
-  eu : int array;  (* edge id -> endpoint u *)
-  ev : int array;  (* edge id -> endpoint v *)
-  ctxs : ctx array;
-  s_active : bool array;
-  s_queued : bool array;
+  sctx : ctx;
+  s_idle : int array;
+  q_stamp : int array;
   sent_round : int array;
   s_wl_cur : int array;
   s_wl_nxt : int array;
   head_a : int array;
   head_b : int array;
+  hs_a : int array;
+  hs_b : int array;
   (* Cached arena int columns (two arenas); the payload column is
      message-typed and must stay per-run, but these keep their steady-
      state capacity across runs so warm runs do a single full-size
@@ -602,50 +704,36 @@ let scratch_slot : scratch option ref Domain.DLS.key =
 let make_scratch g =
   let n = Graph.n g in
   let m = Graph.m g in
-  let eu = Array.make (max m 1) (-1) in
-  let ev = Array.make (max m 1) (-1) in
-  for id = 0 to m - 1 do
-    let e = Graph.edge g id in
-    eu.(id) <- e.Graph.u;
-    ev.(id) <- e.Graph.v
-  done;
-  let wf = Graph.weight g in
   {
     sg = g;
-    eu;
-    ev;
-    ctxs =
-      Array.init n (fun v ->
-          { n; me = v; neighbors = ctx_neighbors g v; weight = wf });
-    s_active = Array.make (max n 1) true;
-    s_queued = Array.make (max n 1) false;
+    sctx = ctx_of g;
+    s_idle = Array.make (max n 1) 0;
+    q_stamp = Array.make (max n 1) 0;
     sent_round = Array.make (max 1 (2 * m)) (-1);
     s_wl_cur = Array.make (max n 1) 0;
     s_wl_nxt = Array.make (max n 1) 0;
     head_a = Array.make (max n 1) (-1);
     head_b = Array.make (max n 1) (-1);
+    hs_a = Array.make (max n 1) 0;
+    hs_b = Array.make (max n 1) 0;
     a_from = [||];
     a_edge = [||];
     a_link = [||];
     b_from = [||];
     b_edge = [||];
     b_link = [||];
-    stamp = 0;
+    stamp = 1;
     busy = false;
   }
 
-(* Acquire scratch for [g]: cache hit resets the per-run arrays (the
-   worklists and [sent_round] need no reset — the former are fully
-   overwritten, the latter is stamp-guarded). *)
+(* Acquire scratch for [g]: a cache hit is O(1) — every per-node array
+   is stamp-guarded (see the scratch note above), so nothing is filled
+   or reset. *)
 let acquire_scratch g =
   let slot = Domain.DLS.get scratch_slot in
   match !slot with
   | Some s when s.sg == g && not s.busy ->
     s.busy <- true;
-    Array.fill s.s_active 0 (Array.length s.s_active) true;
-    Array.fill s.s_queued 0 (Array.length s.s_queued) false;
-    Array.fill s.head_a 0 (Array.length s.head_a) (-1);
-    Array.fill s.head_b 0 (Array.length s.head_b) (-1);
     s
   | _ ->
     let s = make_scratch g in
@@ -670,9 +758,9 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
   let t0 = Unix.gettimeofday () in
   let n = Graph.n g in
   let sc = acquire_scratch g in
-  let ctxs = sc.ctxs in
-  let active = sc.s_active in
-  let eu = sc.eu and ev = sc.ev in
+  let c = sc.sctx in
+  let gv = Graph.view g in
+  let eu = gv.Graph.eu and ev = gv.Graph.ev in
   (* Last stamp at which each (edge, direction) carried a message;
      comparing against the current stamp replaces the reference
      engine's per-round hashtable. Stamps are monotonic across runs
@@ -680,6 +768,10 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
   let sent_round = sc.sent_round in
   let stamp_base = sc.stamp in
   let last_stamp = ref stamp_base in
+  (* Activity flags, stamp-guarded (see the scratch note): [v] is
+     inactive iff [s_idle.(v) = stamp_base], so every node starts this
+     run active without an O(n) fill. *)
+  let s_idle = sc.s_idle in
   (* Double-buffered arenas: [cur] holds messages being consumed this
      round, [nxt] collects sends for the next one. [head_*.(v)] is the
      first slot index of v's inbox chain (-1 = empty). Int columns come
@@ -712,8 +804,14 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
       sc.b_link <- b.link;
       release_scratch sc ~stamp:(!last_stamp + 1))
   @@ fun () ->
+  (* Inbox heads travel with their stamp arrays: [head.(v)] is a live
+     chain for the round with stamp [s] iff [hs.(v) = s]. Stale heads
+     from earlier rounds/runs expire by stamp mismatch, so neither
+     array is ever cleared. *)
   let head_cur = ref sc.head_a in
   let head_nxt = ref sc.head_b in
+  let hs_cur = ref sc.hs_a in
+  let hs_nxt = ref sc.hs_b in
   let arena_grows = ref 0 in
   (* The payload column is the limiting one (the int columns may carry
      cached capacity from earlier runs). Its first allocation jumps
@@ -742,15 +840,17 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
     end
   in
   (* Active-set worklist: nodes to step next round (active, or with a
-     pending message). [queued] marks membership in [wl_nxt]. *)
+     pending message). [q_stamp.(v) = next round's stamp] marks
+     membership in [wl_nxt] — a pure dedup guard, never consulted for
+     scheduling, so it needs no reset (stale stamps expire). *)
   let wl_cur = sc.s_wl_cur in
-  let wl_cur_len = ref 0 in
   let wl_nxt = sc.s_wl_nxt in
   let wl_nxt_len = ref 0 in
-  let queued = sc.s_queued in
+  let q_stamp = sc.q_stamp in
   let push_next v =
-    if not queued.(v) then begin
-      queued.(v) <- true;
+    let s1 = !last_stamp + 1 in
+    if q_stamp.(v) <> s1 then begin
+      q_stamp.(v) <- s1;
       wl_nxt.(!wl_nxt_len) <- v;
       incr wl_nxt_len
     end
@@ -830,8 +930,13 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
         a.from_.(idx) <- sender;
         a.edge_.(idx) <- via;
         a.payload.(idx) <- msg;
-        a.link.(idx) <- !head_nxt.(dest);
-        !head_nxt.(dest) <- idx;
+        (* Chain onto the destination's next-round inbox; a head whose
+           stamp is not the next round's is stale and treated as empty. *)
+        let s1 = !last_stamp + 1 in
+        let hn = !head_nxt and hsn = !hs_nxt in
+        a.link.(idx) <- (if hsn.(dest) = s1 then hn.(dest) else -1);
+        hn.(dest) <- idx;
+        hsn.(dest) <- s1;
         push_next dest
       end;
       deliver sender rest
@@ -843,7 +948,8 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
   let init_outs = Array.make n [] in
   let states =
     Array.init n (fun v ->
-        let s, outs = p.init ctxs.(v) in
+        c.me <- v;
+        let s, outs = p.init c in
         init_outs.(v) <- outs;
         s)
   in
@@ -857,9 +963,9 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
     incr rounds;
     current_round := !rounds;
     last_stamp := stamp_base + !rounds;
-    (* Swap arenas, inbox heads and worklists. The outgoing current
-       arena is fully consumed and its head array reset entry-by-entry
-       below, so the swapped-in [nxt] structures are already clean. *)
+    (* Swap arenas, inbox heads (with their stamp arrays) and
+       worklists. Nothing is cleaned: the swapped-in structures carry
+       stale entries whose stamps no longer match. *)
     let a = !cur in
     cur := !nxt;
     nxt := a;
@@ -867,74 +973,60 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
     let h = !head_cur in
     head_cur := !head_nxt;
     head_nxt := h;
+    let hh = !hs_cur in
+    hs_cur := !hs_nxt;
+    hs_nxt := hh;
     let wlen = !wl_nxt_len in
     wl_nxt_len := 0;
-    (* Nodes must step in ascending id order (bit-compatibility with
-       the reference engine). For dense rounds a linear scan over the
-       membership flags is cheaper (and cache-friendlier) than sorting
-       the unordered push list; for sparse rounds, sort in place. *)
-    if 5 * wlen >= n then begin
-      let k = ref 0 in
-      for v = 0 to n - 1 do
-        if queued.(v) then begin
-          queued.(v) <- false;
-          wl_cur.(!k) <- v;
-          incr k
-        end
-      done;
-      wl_cur_len := !k
-    end
-    else begin
-      Array.blit wl_nxt 0 wl_cur 0 wlen;
-      wl_cur_len := wlen;
-      for i = 0 to wlen - 1 do
-        queued.(wl_cur.(i)) <- false
-      done;
-      sort_prefix wl_cur wlen
-    end;
-    let wlen = !wl_cur_len in
-    skipped := !skipped + (n - wlen);
+    let cur_stamp = !last_stamp in
     let round_active = ref 0 in
     let arena = !cur in
     let heads = !head_cur in
+    let hs = !hs_cur in
     (* Materialize an inbox chain as a list in delivery-prepend order
-       (head slot = last delivered), exactly the reference layout. *)
-    let rec inbox_of idx =
-      if idx < 0 then []
+       (head slot = last delivered), exactly the reference layout. The
+       chain is walked with an accumulator and reversed — a hub vertex
+       on a power-law graph can hold a chain as long as its degree, so
+       a non-tail walk would overflow the stack at RMAT scale. *)
+    let rec collect acc idx =
+      if idx < 0 then acc
       else
-        {
-          from = arena.from_.(idx);
-          edge = arena.edge_.(idx);
-          payload = arena.payload.(idx);
-        }
-        :: inbox_of arena.link.(idx)
+        collect
+          ({
+             from = arena.from_.(idx);
+             edge = arena.edge_.(idx);
+             payload = arena.payload.(idx);
+           }
+          :: acc)
+          arena.link.(idx)
     in
-    for i = 0 to wlen - 1 do
-      let v = wl_cur.(i) in
+    let inbox_of v =
+      if hs.(v) = cur_stamp then List.rev (collect [] heads.(v)) else []
+    in
+    let process v =
       if
         match faults with
         | Some plan -> Fault.crashed plan ~node:v ~round:!rounds
         | None -> false
       then begin
         (* Crashed: not stepped, not re-queued. The inbox chain is
-           necessarily empty (sends to it were dropped), but clear the
-           head defensively to keep the swap invariant. A node with a
-           recovery window re-enters the worklist through the normal
-           delivery push of the first message that reaches it at or
-           after its recover round — identical to the reference
-           engine, whose scan steps it on that same message. *)
-        heads.(v) <- -1;
-        active.(v) <- false;
+           necessarily empty (sends to it were dropped); its head, if
+           any, expires by stamp. A node with a recovery window
+           re-enters the worklist through the normal delivery push of
+           the first message that reaches it at or after its recover
+           round — identical to the reference engine, whose scan steps
+           it on that same message. *)
+        s_idle.(v) <- stamp_base;
         incr skipped
       end
       else begin
-        let msgs = inbox_of heads.(v) in
-        heads.(v) <- -1;
-        if active.(v) || msgs <> [] then begin
+        let msgs = inbox_of v in
+        if s_idle.(v) <> stamp_base || msgs <> [] then begin
           incr steps;
-          let s, outs, still = p.step ctxs.(v) ~round:!rounds states.(v) msgs in
+          c.me <- v;
+          let s, outs, still = p.step c ~round:!rounds states.(v) msgs in
           states.(v) <- s;
-          active.(v) <- still;
+          s_idle.(v) <- (if still then 0 else stamp_base);
           if still then begin
             incr round_active;
             push_next v
@@ -942,7 +1034,32 @@ let run_fast ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf
           deliver v outs
         end
       end
-    done;
+    in
+    (* Nodes must step in ascending id order (bit-compatibility with
+       the reference engine). Dense rounds — the norm on power-law
+       frontiers — iterate vertex ids directly (the direction-
+       optimizing idiom): round-r membership is exactly
+       [still-active || live inbox head], the same predicate [push_next]
+       enforced when filling [wl_nxt], so no materialization or sort is
+       needed. Sparse rounds sort the push list in place. *)
+    if 8 * wlen >= n then begin
+      let members = ref 0 in
+      for v = 0 to n - 1 do
+        if s_idle.(v) <> stamp_base || hs.(v) = cur_stamp then begin
+          incr members;
+          process v
+        end
+      done;
+      skipped := !skipped + (n - !members)
+    end
+    else begin
+      Array.blit wl_nxt 0 wl_cur 0 wlen;
+      sort_prefix wl_cur wlen;
+      skipped := !skipped + (n - wlen);
+      for i = 0 to wlen - 1 do
+        process wl_cur.(i)
+      done
+    end;
     emit_sample ~round:!rounds ~active_now:!round_active
   done;
   let outcome = if !wl_nxt_len > 0 then Round_limit else Converged in
@@ -1030,12 +1147,17 @@ let run_par ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf ?faults
   let nd = max 1 (min domains (max 1 n)) in
   let block = max 1 ((n + nd - 1) / nd) in
   let sc = acquire_scratch g in
-  let ctxs = sc.ctxs in
-  let active = sc.s_active in
-  let eu = sc.eu and ev = sc.ev in
+  (* One cursor ctx per domain: the [me] field is mutable, so sharing
+     the scratch's single ctx across concurrently-stepping workers
+     would race. The records just alias the graph's CSR columns —
+     a few words each. *)
+  let dctxs = Array.init nd (fun _ -> ctx_of g) in
+  let gv = Graph.view g in
+  let eu = gv.Graph.eu and ev = gv.Graph.ev in
   let sent_round = sc.sent_round in
   let stamp_base = sc.stamp in
   let last_stamp = ref stamp_base in
+  let s_idle = sc.s_idle in
   (* Per-shard double-buffered arenas. Int columns are not cached in
      the scratch (capacities depend on the shard count); they ratchet
      up within the run via [grow_par]. *)
@@ -1096,15 +1218,18 @@ let run_par ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf ?faults
   @@ fun () ->
   let head_cur = ref sc.head_a in
   let head_nxt = ref sc.head_b in
+  let hs_cur = ref sc.hs_a in
+  let hs_nxt = ref sc.hs_b in
   (* Active-set worklist, as in [run_fast]; only the merge phase pushes. *)
   let wl_cur = sc.s_wl_cur in
   let wl_cur_len = ref 0 in
   let wl_nxt = sc.s_wl_nxt in
   let wl_nxt_len = ref 0 in
-  let queued = sc.s_queued in
+  let q_stamp = sc.q_stamp in
   let push_next v =
-    if not queued.(v) then begin
-      queued.(v) <- true;
+    let s1 = !last_stamp + 1 in
+    if q_stamp.(v) <> s1 then begin
+      q_stamp.(v) <- s1;
       wl_nxt.(!wl_nxt_len) <- v;
       incr wl_nxt_len
     end
@@ -1176,8 +1301,11 @@ let run_par ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf ?faults
         a.from_.(idx) <- sender;
         a.edge_.(idx) <- via;
         a.payload.(idx) <- msg;
-        a.link.(idx) <- !head_nxt.(dest);
-        !head_nxt.(dest) <- idx;
+        let s1 = !last_stamp + 1 in
+        let hn = !head_nxt and hsn = !hs_nxt in
+        a.link.(idx) <- (if hsn.(dest) = s1 then hn.(dest) else -1);
+        hn.(dest) <- idx;
+        hsn.(dest) <- s1;
         push_next dest
       end;
       deliver sender rest
@@ -1196,8 +1324,10 @@ let run_par ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf ?faults
      with immediate delivery, same as the sequential backends). *)
   let init_outs = Array.make n [] in
   let states =
+    let dc = dctxs.(0) in
     Array.init n (fun v ->
-        let s, outs = p.init ctxs.(v) in
+        dc.me <- v;
+        let s, outs = p.init dc in
         init_outs.(v) <- outs;
         s)
   in
@@ -1207,21 +1337,29 @@ let run_par ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf ?faults
   done;
   emit_sample ~round:0 ~active_now:n;
   (* Phase 1 body: step the worklist slice [seg.(d) .. seg.(d+1)-1].
-     Every touched per-node slot (states, active, heads, outs_arr,
-     did_step) belongs to this domain's block exclusively; the barrier
-     mutex publishes the writes to the main domain. *)
+     Every touched per-node slot (states, s_idle, outs_arr, did_step)
+     belongs to this domain's block exclusively; the barrier mutex
+     publishes the writes to the main domain. Inbox heads are read-only
+     here — consumed chains expire by stamp instead of being cleared. *)
   let process_segment d r =
-    let heads = !head_cur in
+    let heads = !head_cur and hs = !hs_cur in
+    let cur_stamp = !last_stamp in
+    let dc = dctxs.(d) in
     let arena = (!cur_arenas).(d) in
-    let rec inbox_of idx =
-      if idx < 0 then []
+    let rec collect acc idx =
+      if idx < 0 then acc
       else
-        {
-          from = arena.from_.(idx);
-          edge = arena.edge_.(idx);
-          payload = arena.payload.(idx);
-        }
-        :: inbox_of arena.link.(idx)
+        collect
+          ({
+             from = arena.from_.(idx);
+             edge = arena.edge_.(idx);
+             payload = arena.payload.(idx);
+           }
+          :: acc)
+          arena.link.(idx)
+    in
+    let inbox_of v =
+      if hs.(v) = cur_stamp then List.rev (collect [] heads.(v)) else []
     in
     let st = ref 0 and sk = ref 0 and act = ref 0 in
     for i = seg.(d) to seg.(d + 1) - 1 do
@@ -1231,19 +1369,18 @@ let run_par ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf ?faults
         | Some plan -> Fault.crashed plan ~node:v ~round:r
         | None -> false
       then begin
-        heads.(v) <- -1;
-        active.(v) <- false;
+        s_idle.(v) <- stamp_base;
         did_step.(v) <- false;
         incr sk
       end
       else begin
-        let msgs = inbox_of heads.(v) in
-        heads.(v) <- -1;
-        if active.(v) || msgs <> [] then begin
+        let msgs = inbox_of v in
+        if s_idle.(v) <> stamp_base || msgs <> [] then begin
           incr st;
-          let s, outs, still = p.step ctxs.(v) ~round:r states.(v) msgs in
+          dc.me <- v;
+          let s, outs, still = p.step dc ~round:r states.(v) msgs in
           states.(v) <- s;
-          active.(v) <- still;
+          s_idle.(v) <- (if still then 0 else stamp_base);
           outs_arr.(v) <- outs;
           did_step.(v) <- true;
           if still then incr act
@@ -1294,30 +1431,33 @@ let run_par ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf ?faults
     let h = !head_cur in
     head_cur := !head_nxt;
     head_nxt := h;
+    let hh = !hs_cur in
+    hs_cur := !hs_nxt;
+    hs_nxt := hh;
     let wlen = !wl_nxt_len in
     wl_nxt_len := 0;
-    (* Same dense/sparse worklist materialization as [run_fast]; the
-       result is sorted ascending, so each domain's slice is a
-       contiguous run of the worklist. *)
-    if 5 * wlen >= n then begin
-      let k = ref 0 in
-      for v = 0 to n - 1 do
-        if queued.(v) then begin
-          queued.(v) <- false;
-          wl_cur.(!k) <- v;
-          incr k
-        end
-      done;
-      wl_cur_len := !k
-    end
-    else begin
-      Array.blit wl_nxt 0 wl_cur 0 wlen;
-      wl_cur_len := wlen;
-      for i = 0 to wlen - 1 do
-        queued.(wl_cur.(i)) <- false
-      done;
-      sort_prefix wl_cur wlen
-    end;
+    (* Same dense/sparse policy as [run_fast], but the worklist is
+       always materialized (sorted ascending) because the segment
+       boundaries below need it. Dense rounds rebuild it from the
+       membership predicate [still-active || live inbox head] — the
+       exact set [push_next] queued — instead of sorting the unordered
+       push list. *)
+    (if 8 * wlen >= n then begin
+       let hs = !hs_cur and cur_stamp = !last_stamp in
+       let k = ref 0 in
+       for v = 0 to n - 1 do
+         if s_idle.(v) <> stamp_base || hs.(v) = cur_stamp then begin
+           wl_cur.(!k) <- v;
+           incr k
+         end
+       done;
+       wl_cur_len := !k
+     end
+     else begin
+       Array.blit wl_nxt 0 wl_cur 0 wlen;
+       wl_cur_len := wlen;
+       sort_prefix wl_cur wlen
+     end);
     let wlen = !wl_cur_len in
     skipped := !skipped + (n - wlen);
     (* Segment boundaries: seg.(d) = first worklist index in shard d. *)
@@ -1363,7 +1503,7 @@ let run_par ?(word_cap = 4) ?max_rounds ?on_round_limit ?observer ?perf ?faults
     for i = 0 to wlen - 1 do
       let v = wl_cur.(i) in
       if did_step.(v) then begin
-        if active.(v) then push_next v;
+        if s_idle.(v) <> stamp_base then push_next v;
         deliver v outs_arr.(v);
         outs_arr.(v) <- []
       end

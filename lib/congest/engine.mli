@@ -25,14 +25,66 @@
 
 exception Congest_violation of string
 
-(** Local view available to a node's program. [neighbors] is the array
-    of [(edge_id, neighbor)] pairs for this node. *)
-type ctx = {
+(** Local view available to a node's program: [n], this node's id
+    [me], its incident edges (via the [ctx_*] accessors below) and
+    their weights.
+
+    The record is a {e cursor}: the engine keeps one per run (not one
+    per node) and repoints [me] before each [init]/[step] call. It
+    aliases the graph's CSR columns, so the per-node neighbor view
+    costs no resident memory at all — the accessors index the shared
+    columns directly. Consequences for programs: the ctx is only valid
+    for the duration of the [init]/[step] call it was passed to (do
+    not store it in the node state or a closure that outlives the
+    call), and all fields are read-only ([private] — construction and
+    the [me] cursor belong to the engine). *)
+type ctx = private {
   n : int;  (** number of vertices in the network *)
-  me : int;  (** this node's id *)
-  neighbors : (int * int) array;
+  mutable me : int;  (** this node's id *)
   weight : int -> float;  (** weight of an incident edge *)
+  off : int array;
+  adj_eid : int array;
+  adj_dst : int array;
+  mutable nbr_rows : (int * int) array array;
+      (** memo for the deprecated {!ctx_neighbors}; engine-internal *)
 }
+
+(** Number of edges incident to this node. *)
+val ctx_degree : ctx -> int
+
+(** [ctx_edge ctx i] is the edge id of this node's [i]-th incident
+    edge (ascending edge-id order, [0 <= i < ctx_degree ctx]).
+    @raise Invalid_argument if [i] is out of range. *)
+val ctx_edge : ctx -> int -> int
+
+(** [ctx_peer ctx i] is the neighbor at the other end of the [i]-th
+    incident edge. @raise Invalid_argument if [i] is out of range. *)
+val ctx_peer : ctx -> int -> int
+
+(** [ctx_neighbor ctx i] is [(ctx_edge ctx i, ctx_peer ctx i)].
+    Allocates the pair; prefer the split accessors or the iterators on
+    hot paths. @raise Invalid_argument if [i] is out of range. *)
+val ctx_neighbor : ctx -> int -> int * int
+
+(** [ctx_iter_neighbors ctx f] applies [f edge_id neighbor] to every
+    incident edge in ascending edge-id order — allocation-free, the
+    engine-side analogue of [Graph.iter_neighbors]. *)
+val ctx_iter_neighbors : ctx -> (int -> int -> unit) -> unit
+
+(** [ctx_fold_neighbors ctx f acc] folds [f acc edge_id neighbor] over
+    the incident edges in ascending edge-id order. The idiomatic way
+    to build a send list in order:
+    [List.rev (ctx_fold_neighbors ctx (fun acc e _ -> {via=e; msg} :: acc) [])]. *)
+val ctx_fold_neighbors : ctx -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+(** Deprecated boxed tuple view: the array of [(edge_id, neighbor)]
+    pairs for this node, built lazily from the CSR columns on first
+    access and memoized. Like [Graph.neighbors], it survives only for
+    external API compatibility — in-tree code must use the accessors
+    above (enforced by a grep gate in the test suite), because forcing
+    the rows for all nodes costs ~[8n + 8m] words of boxed memory
+    (~750 MB at RMAT scale 20). Do not mutate the returned array. *)
+val ctx_neighbors : ctx -> (int * int) array
 
 (** A message received on [edge] from neighbour [from]. *)
 type 'm received = { from : int; edge : int; payload : 'm }

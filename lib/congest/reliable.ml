@@ -124,11 +124,10 @@ let advance ~max_retries ~must_ack l =
 let link_busy l = (not l.dead) && (l.inflight <> None || dequeue l <> None)
 
 let link_index (ctx : Engine.ctx) edge =
-  let nb = ctx.neighbors in
+  let deg = Engine.ctx_degree ctx in
   let rec go i =
-    if i >= Array.length nb then
-      invalid_arg "Reliable: message on unknown edge"
-    else if fst nb.(i) = edge then i
+    if i >= deg then invalid_arg "Reliable: message on unknown edge"
+    else if Engine.ctx_edge ctx i = edge then i
     else go (i + 1)
   in
   go 0
@@ -141,7 +140,7 @@ let lift ?(max_retries = 32) (p : ('s, 'm) Engine.program) :
   in
   let init (ctx : Engine.ctx) =
     let inner0, sends0 = p.init ctx in
-    let links = Array.map (fun _ -> fresh_link) ctx.neighbors in
+    let links = Array.make (Engine.ctx_degree ctx) fresh_link in
     List.iter
       (fun ({ via; msg } : 'm Engine.send) ->
         let i = link_index ctx via in
@@ -152,7 +151,8 @@ let lift ?(max_retries = 32) (p : ('s, 'm) Engine.program) :
       let l', env, _ = advance ~max_retries ~must_ack:false links.(i) in
       links.(i) <- l';
       match env with
-      | Some e -> outs := ({ via = fst ctx.neighbors.(i); msg = e } : _ Engine.send) :: !outs
+      | Some e ->
+        outs := ({ via = Engine.ctx_edge ctx i; msg = e } : _ Engine.send) :: !outs
       | None -> ()
     done;
     ({ inner = inner0; inner_active = true; links; gave_up = 0 }, !outs)
@@ -218,7 +218,7 @@ let lift ?(max_retries = 32) (p : ('s, 'm) Engine.program) :
       match env with
       | Some e ->
         outs :=
-          ({ via = fst ctx.neighbors.(i); msg = e } : _ Engine.send) :: !outs
+          ({ via = Engine.ctx_edge ctx i; msg = e } : _ Engine.send) :: !outs
       | None -> ()
     done;
     let busy = Array.exists link_busy links in

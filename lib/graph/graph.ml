@@ -380,8 +380,17 @@ type view = {
   off : int array;
   adj_eid : int array;
   adj_dst : int array;
+  eu : int array;
+  ev : int array;
   ew : float array;
 }
 
 let view (g : t) : view =
-  { off = g.off; adj_eid = g.adj_eid; adj_dst = g.adj_dst; ew = g.ew }
+  {
+    off = g.off;
+    adj_eid = g.adj_eid;
+    adj_dst = g.adj_dst;
+    eu = g.eu;
+    ev = g.ev;
+    ew = g.ew;
+  }

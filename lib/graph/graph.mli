@@ -83,13 +83,19 @@ val fold_neighbors : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
     call of {!iter_neighbors} is measurable (Dijkstra, BFS kernels).
     Vertex [v]'s incidences are
     [off.(v) .. off.(v+1)-1] into [adj_eid]/[adj_dst]; [ew.(id)] is
-    edge [id]'s weight. The arrays are the graph's own storage, shared
-    not copied: treat them as read-only, exactly like the array
-    returned by {!neighbors}. *)
+    edge [id]'s weight; [eu.(id)]/[ev.(id)] are edge [id]'s endpoints
+    (normalized [eu.(id) < ev.(id)]) — the column form of
+    {!endpoints}, for loops that resolve the far end of an edge id
+    without allocating a tuple per call (the CONGEST engine's message
+    delivery). The arrays are the graph's own storage, shared not
+    copied: treat them as read-only, exactly like the array returned
+    by {!neighbors}. *)
 type view = private {
   off : int array;
   adj_eid : int array;
   adj_dst : int array;
+  eu : int array;
+  ev : int array;
   ew : float array;
 }
 

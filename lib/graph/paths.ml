@@ -6,7 +6,7 @@ let dijkstra_core ?(bound = infinity) ?edge_ok g seeds =
   let parent_edge = Array.make n (-1) in
   let source = Array.make n (-1) in
   let settled = Array.make n false in
-  let { Graph.off; adj_eid; adj_dst; ew } = Graph.view g in
+  let { Graph.off; adj_eid; adj_dst; ew; _ } = Graph.view g in
   let q = Pqueue.create () in
   List.iter
     (fun s ->

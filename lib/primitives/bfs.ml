@@ -16,8 +16,10 @@ let program root : (state, msg) Engine.program =
       (fun ctx ->
         if ctx.me = root then
           ( { dist = 0; parent_edge = -1 },
-            Array.to_list ctx.neighbors
-            |> List.map (fun (edge, _) -> { via = edge; msg = Join 0 }) )
+            List.rev
+              (ctx_fold_neighbors ctx
+                 (fun acc edge _ -> { via = edge; msg = Join 0 } :: acc)
+                 []) )
         else ({ dist = -1; parent_edge = -1 }, []));
     step =
       (fun ctx ~round:_ s inbox ->
@@ -39,16 +41,16 @@ let program root : (state, msg) Engine.program =
             let (Join d) = r.payload in
             let s = { dist = d + 1; parent_edge = r.edge } in
             let msg = Join s.dist in
-            let nbrs = ctx.neighbors in
-            let deg = Array.length nbrs in
-            let rec outs i =
-              if i >= deg then []
-              else
-                let edge, _ = nbrs.(i) in
-                if edge = r.edge then outs (i + 1)
-                else { via = edge; msg } :: outs (i + 1)
+            (* Built by fold + reverse so the sends go out in ascending
+               edge-id order; the fold itself is a tail-safe CSR walk
+               (a hub on a power-law graph can have 10^5 neighbors). *)
+            let outs =
+              ctx_fold_neighbors ctx
+                (fun acc edge _ ->
+                  if edge = r.edge then acc else { via = edge; msg } :: acc)
+                []
             in
-            (s, outs 0, false)
+            (s, List.rev outs, false)
         end);
   }
 
@@ -71,13 +73,9 @@ let tree g ~root =
 let relaxing_program ~root : (state, msg) Engine.program =
   let open Engine in
   let announce ctx d =
-    let nbrs = ctx.neighbors in
-    let deg = Array.length nbrs in
     let msg = Join d in
-    let rec outs i =
-      if i >= deg then [] else { via = fst nbrs.(i); msg } :: outs (i + 1)
-    in
-    outs 0
+    List.rev
+      (ctx_fold_neighbors ctx (fun acc edge _ -> { via = edge; msg } :: acc) [])
   in
   {
     name = "bfs-relax";

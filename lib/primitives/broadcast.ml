@@ -165,16 +165,12 @@ type flood_msg = Value of int
 let flood_program ~root ~value : (int option, flood_msg) Engine.program =
   let open Engine in
   let forward ctx except =
-    let nbrs = ctx.neighbors in
-    let deg = Array.length nbrs in
-    let rec outs i =
-      if i >= deg then []
-      else
-        let edge, _ = nbrs.(i) in
-        if edge = except then outs (i + 1)
-        else { via = edge; msg = Value value } :: outs (i + 1)
-    in
-    outs 0
+    List.rev
+      (ctx_fold_neighbors ctx
+         (fun acc edge _ ->
+           if edge = except then acc
+           else { via = edge; msg = Value value } :: acc)
+         [])
   in
   {
     name = "broadcast-flood";

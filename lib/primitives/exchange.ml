@@ -9,9 +9,12 @@ let exchange ?word_cap ?(edge_ok = fun _ -> true) ~words g (values : 'a array) =
       init =
         (fun ctx ->
           ( [],
-            Array.to_list ctx.neighbors
-            |> List.filter (fun (e, _) -> edge_ok e)
-            |> List.map (fun (e, _) -> { via = e; msg = values.(ctx.me) }) ));
+            List.rev
+              (ctx_fold_neighbors ctx
+                 (fun acc e _ ->
+                   if edge_ok e then { via = e; msg = values.(ctx.me) } :: acc
+                   else acc)
+                 []) ));
       step =
         (fun _ctx ~round:_ s inbox ->
           let s =

@@ -17,9 +17,11 @@ let exchange_cluster_info g ~edge_ok cluster sampled_of =
           let c = cluster.(ctx.me) in
           let payload = (c, c >= 0 && sampled_of c) in
           ( [],
-            Array.to_list ctx.neighbors
-            |> List.filter (fun (e, _) -> edge_ok e)
-            |> List.map (fun (e, _) -> { via = e; msg = payload }) ));
+            List.rev
+              (ctx_fold_neighbors ctx
+                 (fun acc e _ ->
+                   if edge_ok e then { via = e; msg = payload } :: acc else acc)
+                 []) ));
       step =
         (fun _ctx ~round:_ s inbox ->
           ( List.fold_left

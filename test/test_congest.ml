@@ -29,7 +29,7 @@ let pingpong k : (int, string) Engine.program =
     words = (fun _ -> 1);
     init =
       (fun ctx ->
-        if ctx.me = 0 then (0, [ { via = fst ctx.neighbors.(0); msg = "ping" } ])
+        if ctx.me = 0 then (0, [ { via = ctx_edge ctx 0; msg = "ping" } ])
         else (0, []));
     step =
       (fun _ctx ~round:_ count inbox ->
@@ -61,7 +61,7 @@ let test_engine_detects_double_send () =
       init =
         (fun ctx ->
           if ctx.me = 0 then
-            let e = fst ctx.neighbors.(0) in
+            let e = ctx_edge ctx 0 in
             ((), [ { via = e; msg = 1 }; { via = e; msg = 2 } ])
           else ((), []));
       step = (fun _ ~round:_ s _ -> (s, [], false));
@@ -82,7 +82,7 @@ let test_engine_detects_oversize () =
       words = (fun _ -> 99);
       init =
         (fun ctx ->
-          if ctx.me = 0 then ((), [ { via = fst ctx.neighbors.(0); msg = 1 } ])
+          if ctx.me = 0 then ((), [ { via = ctx_edge ctx 0; msg = 1 } ])
           else ((), []));
       step = (fun _ ~round:_ s _ -> (s, [], false));
     }
@@ -297,8 +297,10 @@ let prop_engine_delivery =
           init =
             (fun ctx ->
               ( (0, 0),
-                Array.to_list ctx.neighbors
-                |> List.map (fun (e, _) -> { via = e; msg = ctx.me }) ));
+                List.rev
+                  (ctx_fold_neighbors ctx
+                     (fun acc e _ -> { via = e; msg = ctx.me } :: acc)
+                     []) ));
           step =
             (fun _ ~round (c, r) inbox ->
               ((c + List.length inbox, max r round), [], false));
@@ -351,7 +353,7 @@ let test_engine_word_accounting () =
       words = String.length;
       init =
         (fun ctx ->
-          if ctx.me = 0 then ((), [ { via = fst ctx.neighbors.(0); msg = "abc" } ])
+          if ctx.me = 0 then ((), [ { via = ctx_edge ctx 0; msg = "abc" } ])
           else ((), []));
       step = (fun _ ~round:_ s _ -> (s, [], false));
     }
@@ -400,8 +402,10 @@ let test_engine_observer () =
       init =
         (fun ctx ->
           ( (),
-            Array.to_list ctx.neighbors |> List.map (fun (e, _) -> { via = e; msg = ctx.me })
-          ));
+            List.rev
+              (ctx_fold_neighbors ctx
+                 (fun acc e _ -> { via = e; msg = ctx.me } :: acc)
+                 []) ));
       step = (fun _ ~round:_ s _ -> (s, [], false));
     }
   in
@@ -428,15 +432,19 @@ let test_trace_aggregation () =
       init =
         (fun ctx ->
           ( (),
-            Array.to_list ctx.neighbors |> List.map (fun (e, _) -> { via = e; msg = ctx.me })
-          ));
+            List.rev
+              (ctx_fold_neighbors ctx
+                 (fun acc e _ -> { via = e; msg = ctx.me } :: acc)
+                 []) ));
       step =
         (fun ctx ~round s inbox ->
           (* One extra wave in round 1. *)
           if round = 1 && ctx.me = 0 then
             ( s,
-              Array.to_list ctx.neighbors
-              |> List.map (fun (e, _) -> { via = e; msg = 99 }),
+              List.rev
+                (ctx_fold_neighbors ctx
+                   (fun acc e _ -> { via = e; msg = 99 } :: acc)
+                   []),
               false )
           else begin
             ignore inbox;

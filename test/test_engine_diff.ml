@@ -29,11 +29,13 @@ let flood_program ~seed ~ttl ~word_cap : (int, int) Engine.program =
   let open Engine in
   let payload_of ~me ~round ~edge = mix seed me round edge mod 1000 in
   let sends ctx ~round ~state =
-    Array.to_list ctx.neighbors
-    |> List.filter_map (fun (edge, _) ->
+    List.rev
+      (ctx_fold_neighbors ctx
+         (fun acc edge _ ->
            if mix seed (ctx.me + state) round edge mod 3 <> 0 then
-             Some { via = edge; msg = payload_of ~me:ctx.me ~round ~edge }
-           else None)
+             { via = edge; msg = payload_of ~me:ctx.me ~round ~edge } :: acc
+           else acc)
+         [])
   in
   {
     name = "rand-flood";
@@ -112,7 +114,7 @@ let token_walk len : (int, unit) Engine.program =
     words = (fun () -> 1);
     init =
       (fun ctx ->
-        if ctx.me = 0 then (1, [ { via = fst ctx.neighbors.(0); msg = () } ])
+        if ctx.me = 0 then (1, [ { via = ctx_edge ctx 0; msg = () } ])
         else (0, []));
     step =
       (fun ctx ~round:_ s inbox ->
@@ -120,10 +122,12 @@ let token_walk len : (int, unit) Engine.program =
         | [] -> (s, [], false)
         | { edge; _ } :: _ ->
           let forward =
-            Array.to_list ctx.neighbors
-            |> List.filter_map (fun (e, _) ->
-                   if e <> edge && ctx.me < len then Some { via = e; msg = () }
-                   else None)
+            List.rev
+              (ctx_fold_neighbors ctx
+                 (fun acc e _ ->
+                   if e <> edge && ctx.me < len then { via = e; msg = () } :: acc
+                   else acc)
+                 [])
           in
           (s + 1, forward, false));
   }
@@ -269,6 +273,92 @@ let prop_par_matches_fast_under_faults =
           = base)
         par_domains)
 
+(* ------------------------------------------------------------------ *)
+(* Topology stress for the flat-ctx hot path. Power-law RMAT graphs
+   exercise exactly what uniform Erdős–Rényi samples cannot: hub nodes
+   whose inbox chains span a large fraction of the arena, so the
+   stamp-guarded chain walk and the dense-round membership scan both
+   see heavy skew. Seeds are pinned through the generator so every
+   replay builds the same graph. *)
+
+let graph_rmat ~scale ~seed =
+  let rng = Random.State.make [| seed; 0x9a7 |] in
+  Gen.ensure_connected rng (Gen.rmat rng ~scale ~edge_factor:8 ())
+
+let prop_rmat_all_backends_agree =
+  QCheck2.Test.make
+    ~name:"RMAT topology: fast = reference = par@2 (states, stats, telemetry)"
+    ~count:12
+    QCheck2.Gen.(
+      triple (int_range 4 7) (int_range 0 100_000) (int_range 0 8))
+    (fun (scale, seed, ttl) ->
+      let g = graph_rmat ~scale ~seed in
+      let program = flood_program ~seed ~ttl ~word_cap:4 in
+      let fast =
+        capture
+          (fun obs g p ->
+            Engine.run_fast ~on_round_limit:`Mark ~observer:obs g p)
+          g program
+      in
+      let reference =
+        capture
+          (fun obs g p ->
+            Engine.run_reference ~on_round_limit:`Mark ~observer:obs g p)
+          g program
+      in
+      let par =
+        capture
+          (fun obs g p ->
+            Engine.run_par ~on_round_limit:`Mark ~domains:2 ~observer:obs g p)
+          g program
+      in
+      fast = reference && fast = par)
+
+(* A star graph concentrates every message of a round onto one hub, so
+   the hub's arena inbox chain is as long as the graph is wide. The
+   digest is order-sensitive: the chain must unwind to exactly the
+   reference engine's prepend order or the fold diverges. *)
+let star_inbox_chain () =
+  let n = 4097 in
+  let g = Gen.star n in
+  let open Engine in
+  let program : (int, int) Engine.program =
+    {
+      name = "star-chain";
+      words = (fun _ -> 1);
+      init =
+        (fun ctx ->
+          if ctx_degree ctx = 1 then
+            (0, [ { via = ctx_edge ctx 0; msg = ctx.me } ])
+          else (1, []));
+      step =
+        (fun _ctx ~round:_ s inbox ->
+          let s =
+            List.fold_left
+              (fun acc (r : int received) -> (acc * 131) + r.payload + r.from)
+              s inbox
+          in
+          (s land 0x3FFFFFFF, [], false));
+    }
+  in
+  let fast =
+    capture (fun obs g p -> Engine.run_fast ~observer:obs g p) g program
+  in
+  let reference =
+    capture (fun obs g p -> Engine.run_reference ~observer:obs g p) g program
+  in
+  let par =
+    capture
+      (fun obs g p -> Engine.run_par ~domains:2 ~observer:obs g p)
+      g program
+  in
+  Alcotest.(check bool) "fast = reference on star hub" true (fast = reference);
+  Alcotest.(check bool) "par = fast on star hub" true (fast = par);
+  let (states, _), _, _ = fast in
+  (* The hub saw all n-1 leaves; a zero digest would mean an empty or
+     truncated chain slipped through. *)
+  Alcotest.(check bool) "hub digest nonzero" true (states.(0) <> 1)
+
 (* Fixed QCheck seed: dune runtest must be deterministic, and any
    failure replayable from the printed counterexample alone. *)
 let qcheck t =
@@ -281,8 +371,10 @@ let () =
         [
           qcheck prop_states_and_stats_agree;
           qcheck prop_round_limit_agrees;
+          qcheck prop_rmat_all_backends_agree;
           Alcotest.test_case "token walk (sparse phases)" `Quick
             test_token_walk_agrees;
+          Alcotest.test_case "star hub inbox chain" `Quick star_inbox_chain;
           Alcotest.test_case "backend dispatch" `Quick test_backend_dispatch;
         ] );
       ( "parallel",

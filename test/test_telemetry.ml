@@ -200,11 +200,13 @@ let flood_program ~seed ~ttl ~word_cap : (int, int) Engine.program =
   let open Engine in
   let payload_of ~me ~round ~edge = mix seed me round edge mod 1000 in
   let sends ctx ~round ~state =
-    Array.to_list ctx.neighbors
-    |> List.filter_map (fun (edge, _) ->
+    List.rev
+      (ctx_fold_neighbors ctx
+         (fun acc edge _ ->
            if mix seed (ctx.me + state) round edge mod 3 <> 0 then
-             Some { via = edge; msg = payload_of ~me:ctx.me ~round ~edge }
-           else None)
+             { via = edge; msg = payload_of ~me:ctx.me ~round ~edge } :: acc
+           else acc)
+         [])
   in
   {
     name = "rand-flood";
