@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-diff bench-smoke chaos chaos-smoke trace-smoke par-smoke route-smoke metrics-smoke scenarios oracle scale scale-smoke clean
+.PHONY: all build test bench bench-diff bench-smoke chaos chaos-smoke trace-smoke par-smoke route-smoke metrics-smoke scenarios oracle scale scale-smoke store-smoke store-bench clean
 
 all: build
 
@@ -73,9 +73,27 @@ scenarios:
 	  --expect-violation expected-violation --json BENCH_scenarios.json
 
 # Route-oracle benchmark: qps per tier, cache hit-rate sweep, label vs
-# Dijkstra speedup and a certified max stretch. Writes BENCH_oracle.json.
+# Dijkstra speedup, a certified max stretch, the store-fleet throughput
+# matrix (qps vs domain count + store LRU hit-rate sweep) and the SLT
+# epsilon/stretch table. Writes BENCH_oracle.json.
 oracle:
 	dune exec bench/oracle_bench.exe
+
+# Digest-keyed store + fleet smoke: build/add/verify three networks,
+# fleet-serve the same batch at 1/2/4 domains with byte-identical
+# checksum files enforced by cmp, validate the exported metrics, and
+# run a generated store-form scenario with a min-hit-rate SLO. Also
+# runs in `dune runtest` via @store-smoke.
+store-smoke:
+	dune build @store-smoke
+
+# Fleet-focused run of the oracle bench: the store_fleet section at
+# full size (throughput vs domain count, store LRU hit-rate sweep over
+# Zipf-skewed multi-network workloads) with every other section shrunk
+# to smoke size. Rewrites BENCH_oracle.json, so commit numbers from
+# `make oracle`, not from this target.
+store-bench:
+	dune exec bench/oracle_bench.exe -- --store-fleet
 
 # Graph500-scale substrate gate at RMAT scale 17 (n = 131072, ~1.9M
 # edges): streaming construction, BFS/TEPS, MST forest and artifact

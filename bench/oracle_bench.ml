@@ -16,9 +16,19 @@
       the artifact's promised spanner stretch — must hold) and the
       label tier (measured tree stretch, reported not promised), and
       an exhaustive label-vs-Tree.dist agreement check.
+   5. rmat: the artifact + tier pipeline on a Graph500-style input.
+   6. store_fleet: the digest-keyed store + domain-sharded fleet —
+      qps vs domain count on a Zipf-over-networks workload (checksums
+      must be byte-identical at every count; the >= 1.5x @ 4 domains
+      gate self-skips on 1-core hosts, mirroring bench-diff) and a
+      store-LRU hit-rate sweep over capacity x network skew.
+   7. slt_epsilon_sweep: measured root stretch and lightness of the
+      SLT as epsilon sweeps the (1+O(eps), 1+O(1/eps)) trade-off.
 
    Hand-rolled JSON like the other benches (no yojson in the image);
-   `--smoke` shrinks n so the whole run finishes in seconds. *)
+   `--smoke` shrinks n so the whole run finishes in seconds, and
+   `--store-fleet` runs section 6 at full size with everything else
+   at smoke size. *)
 
 open Lightnet
 
@@ -127,7 +137,8 @@ let certificate_json (c : Serve.certificate) =
     ]
 
 let () =
-  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let store_focus = Array.exists (( = ) "--store-fleet") Sys.argv in
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv || store_focus in
   let n = if smoke then 256 else 2000 in
   let seed = 7 in
   let q_fast = if smoke then 4_000 else 40_000 in
@@ -336,6 +347,218 @@ let () =
       ]
   in
 
+  (* 6. Store fleet: a directory of digest-keyed networks served by
+     the domain-sharded driver. Throughput is measured on the cache
+     tier (each domain clones the oracle, so tier C parallelizes
+     without sharing the mutable LRU); the per-network answered-
+     distance checksums must come out byte-identical at every domain
+     count or the bench hard-fails — that is the determinism contract
+     the fleet ships. The >= 1.5x @ 4 domains gate self-skips on
+     1-core hosts (wall-clock speedup needs parallel hardware),
+     mirroring bench-diff's calibration-host rule. *)
+  let full_fleet = (not smoke) || store_focus in
+  let fleet_nets = if full_fleet then 6 else 3 in
+  let fleet_net_n = if full_fleet then 400 else 96 in
+  let q_fleet = if full_fleet then 20_000 else 2_000 in
+  let store_dir = Filename.temp_file "lightnet_oracle_store" "" in
+  Sys.remove store_dir;
+  let store_fleet_json =
+    let st = Store.open_dir ~capacity:4 ~cache_capacity:64 store_dir in
+    let build_s = ref 0.0 in
+    for i = 0 to fleet_nets - 1 do
+      let rng_i = Random.State.make [| seed; 0x57; i |] in
+      let g_i =
+        fst
+          (Gen.random_geometric rng_i ~n:fleet_net_n
+             ~radius:(2.0 /. Float.sqrt (float_of_int fleet_net_n))
+             ())
+      in
+      let art_i, dt =
+        time (fun () ->
+            let sp_i, _ =
+              Quick.light_spanner ~seed:(seed + i) ~epsilon:0.25 g_i ~k:2
+            in
+            let slt_i = Slt.build ~rng:rng_i g_i ~rt:0 ~epsilon:0.5 in
+            Artifact.make ~graph:g_i ~slt_root:0
+              ~spanner_stretch:sp_i.Light_spanner.stretch_bound
+              ~spanner_edges:sp_i.Light_spanner.edges
+              ~slt_edges:slt_i.Slt.edges ~mst_edges:(Mst_seq.kruskal g_i)
+              ~params:[ ("bench", "store-fleet"); ("net", string_of_int i) ]
+              ())
+      in
+      build_s := !build_s +. dt;
+      let tmp = Filename.temp_file "lightnet_oracle_net" ".artifact" in
+      Artifact.save tmp art_i;
+      (match Store.add st tmp with
+      | Ok (_, `Added) -> ()
+      | Ok (_, `Duplicate) -> failwith "store fleet: duplicate network seed"
+      | Error why -> failwith ("store fleet: add failed: " ^ why));
+      Sys.remove tmp
+    done;
+    Printf.printf "store fleet: %d networks (n=%d each) built in %.2fs\n%!"
+      fleet_nets fleet_net_n !build_s;
+    let requests =
+      Fleet.workload ~seed ~net_skew:1.1 st (Workload.Zipf 1.1) ~count:q_fleet
+    in
+    let run_at d =
+      let o = Fleet.run ~domains:d st ~tier:Oracle.Cache requests in
+      Format.printf "  %a@." Fleet.pp_outcome o;
+      o
+    in
+    let o1 = run_at 1 in
+    let o2 = run_at 2 in
+    let o4 = run_at 4 in
+    if
+      Fleet.checksum_lines o1 <> Fleet.checksum_lines o2
+      || Fleet.checksum_lines o2 <> Fleet.checksum_lines o4
+    then failwith "store fleet: checksums differ across domain counts";
+    let speedup4 = if o1.Fleet.qps > 0.0 then o4.Fleet.qps /. o1.Fleet.qps else 0.0 in
+    let gate_required = 1.5 in
+    let cores = Bench_env.cores () in
+    let gate_note =
+      if cores <= 1 then
+        spf "SKIP: host has %d core(s); the %.1fx @ 4 domains gate needs parallel hardware"
+          cores gate_required
+      else if speedup4 >= gate_required then
+        spf "pass: %.2fx >= %.1fx" speedup4 gate_required
+      else spf "FAIL: %.2fx < %.1fx" speedup4 gate_required
+    in
+    Printf.printf "  4-domain speedup %.2fx (%s)\n%!" speedup4 gate_note;
+    if cores > 1 && speedup4 < gate_required then
+      failwith ("store fleet speedup gate: " ^ gate_note);
+    (* Store-LRU hit-rate sweep: capacity x network skew, at 1 domain
+       so the LRU accounting is the deterministic sequential order.
+       Fleet.run reports deltas, so the loads done while generating
+       the workload don't pollute the measured rate. *)
+    let sweep_rows =
+      List.concat_map
+        (fun cap ->
+          List.map
+            (fun skew ->
+              let st_s = Store.open_dir ~capacity:cap ~cache_capacity:64 store_dir in
+              let reqs =
+                Fleet.workload ~seed ~net_skew:skew st_s (Workload.Zipf 1.1)
+                  ~count:(q_fleet / 2)
+              in
+              let o = Fleet.run ~domains:1 st_s ~tier:Oracle.Cache reqs in
+              let hit_rate = Fleet.store_hit_rate o in
+              Printf.printf
+                "  store sweep cap=%d skew=%.1f: hit rate %.3f (%d evictions), %.0f qps\n%!"
+                cap skew hit_rate o.Fleet.store.Store.evictions o.Fleet.qps;
+              Json.Obj
+                [
+                  ("capacity", Json.Int cap);
+                  ("net_skew", Json.Float skew);
+                  ("hit_rate", Json.Float hit_rate);
+                  ("evictions", Json.Int o.Fleet.store.Store.evictions);
+                  ("qps", Json.Float o.Fleet.qps);
+                ])
+            [ 0.8; 1.2; 1.6 ])
+        [ 1; 2; 4; 8 ]
+    in
+    let by_domains (o : Fleet.outcome) =
+      Json.Obj
+        [
+          ("domains", Json.Int o.Fleet.domains);
+          ("qps", Json.Float o.Fleet.qps);
+          ("wall_s", Json.Float o.Fleet.wall_s);
+          ("p99_us", Json.Float o.Fleet.latency.Serve.p99_us);
+          ("checksum", Json.Float o.Fleet.checksum);
+        ]
+    in
+    Json.Obj
+      [
+        ("networks", Json.Int fleet_nets);
+        ("net_n", Json.Int fleet_net_n);
+        ("queries", Json.Int q_fleet);
+        ("tier", Json.Str "cache");
+        ("workload", Json.Str "zipf(s=1.1) pairs, zipf(s=1.1) over networks");
+        ("build_s", Json.Float !build_s);
+        ("store_hit_rate", Json.Float (Fleet.store_hit_rate o1));
+        ("qps_by_domains", Json.List [ by_domains o1; by_domains o2; by_domains o4 ]);
+        ("checksums_identical_1_2_4", Json.Bool true);
+        ("speedup_4_domains", Json.Float speedup4);
+        ( "gate",
+          Json.Obj
+            [
+              ("required_speedup", Json.Float gate_required);
+              ("host_cores", Json.Int cores);
+              ("result", Json.Str gate_note);
+            ] );
+        ("hit_rate_sweep", Json.List sweep_rows);
+      ]
+  in
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat store_dir f) with Sys_error _ -> ())
+    (Sys.readdir store_dir);
+  (try Unix.rmdir store_dir with Unix.Unix_error _ -> ());
+
+  (* 7. SLT epsilon sweep: the (1 + O(eps), 1 + O(1/eps)) trade-off,
+     measured. For each epsilon the table reports build time, the
+     promised (alpha, beta) bounds, and the measured quantities they
+     bound: max/mean root stretch d_T(rt,v)/d_G(rt,v) over every
+     reachable vertex (exact Dijkstra ground truth) and lightness
+     w(T)/w(MST). *)
+  let slt_sweep_json =
+    let exact = Paths.dijkstra g 0 in
+    let mst_w =
+      List.fold_left
+        (fun acc id -> acc +. Graph.weight g id)
+        0.0 loaded.Artifact.mst_edges
+    in
+    let rows =
+      List.map
+        (fun eps ->
+          let slt_e, build_s =
+            time (fun () ->
+                Slt.build ~rng:(Random.State.make [| seed; 0x5e |]) g ~rt:0
+                  ~epsilon:eps)
+          in
+          let t = slt_e.Slt.tree in
+          let max_stretch = ref 1.0 in
+          let sum_stretch = ref 0.0 in
+          let count = ref 0 in
+          for v = 1 to Graph.n g - 1 do
+            let d = exact.Paths.dist.(v) in
+            if Float.is_finite d && d > 0.0 then begin
+              let s = Tree.dist_to_root t v /. d in
+              if s > !max_stretch then max_stretch := s;
+              sum_stretch := !sum_stretch +. s;
+              incr count
+            end
+          done;
+          let mean_stretch =
+            if !count = 0 then 1.0 else !sum_stretch /. float_of_int !count
+          in
+          let lightness = if mst_w > 0.0 then Tree.weight t /. mst_w else 0.0 in
+          Printf.printf
+            "  slt eps=%-6g: build %.2fs, root stretch max %.4f mean %.4f (promised %.2f), lightness %.3f (promised %.2f)\n%!"
+            eps build_s !max_stretch mean_stretch slt_e.Slt.stretch_bound
+            lightness slt_e.Slt.lightness_bound;
+          if !max_stretch > slt_e.Slt.stretch_bound +. 1e-9 then
+            failwith (spf "slt sweep: eps=%g broke its stretch promise" eps);
+          Json.Obj
+            [
+              ("epsilon", Json.Float eps);
+              ("build_s", Json.Float build_s);
+              ("edges", Json.Int (List.length slt_e.Slt.edges));
+              ("max_root_stretch", Json.Float !max_stretch);
+              ("mean_root_stretch", Json.Float mean_stretch);
+              ("stretch_bound", Json.Float slt_e.Slt.stretch_bound);
+              ("lightness", Json.Float lightness);
+              ("lightness_bound", Json.Float slt_e.Slt.lightness_bound);
+            ])
+        [ 0.0625; 0.125; 0.25; 0.5; 1.0 ]
+    in
+    Json.Obj
+      [
+        ("n", Json.Int (Graph.n g));
+        ("model", Json.Str "geo");
+        ("mst_weight", Json.Float mst_w);
+        ("rows", Json.List rows);
+      ]
+  in
+
   let json =
     Json.Obj
       [
@@ -381,6 +604,8 @@ let () =
             ] );
         ("cache_sweep", Json.Obj sweep);
         ("rmat", rmat_json);
+        ("store_fleet", store_fleet_json);
+        ("slt_epsilon_sweep", slt_sweep_json);
         ( "certification",
           Json.Obj
             [

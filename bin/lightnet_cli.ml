@@ -526,11 +526,14 @@ let build_artifact_cmd =
       $ slt_eps_arg $ root_arg $ out_arg $ trace_arg $ metrics_arg
       $ domains_arg)
 
+(* One artifact (positional FILE) or a whole store (--store DIR): the
+   single-artifact path runs Serve.run as before; the store path
+   resolves a Zipf-over-networks workload through the oracle LRU and
+   shards the batch across domains with Fleet.run. --certify replays
+   a sample per network either way (exit 3 on a Wrong verdict). *)
 let serve_cmd =
-  let run file queries workload tier cache seed certify stretch sample metrics
-      metrics_every =
-    let art = Artifact.load file in
-    Format.printf "%a@." Artifact.pp art;
+  let run file store queries workload tier cache seed certify stretch sample
+      domains net_skew capacity checksum_out metrics metrics_every =
     let spec =
       match Workload.parse workload with
       | Some s -> s
@@ -542,16 +545,19 @@ let serve_cmd =
       | Some t -> t
       | None -> Fmt.failwith "unknown tier %S (spanner|label|cache)" tier
     in
-    (* --metrics-every rewrites the metrics file mid-batch, giving a
-       scraper a live file to poll; the final snapshot from with_obs
-       then overwrites it once the batch completes. *)
-    let on_snapshot =
-      match metrics with
-      | Some path when metrics_every > 0 ->
-        Some (fun snap -> Metrics.write_file snap path)
-      | _ -> None
-    in
-    let failed_cert =
+    let sample = if sample <= 0 then None else Some sample in
+    let serve_one file =
+      let art = Artifact.load file in
+      Format.printf "%a@." Artifact.pp art;
+      (* --metrics-every rewrites the metrics file mid-batch, giving a
+         scraper a live file to poll; the final snapshot from with_obs
+         then overwrites it once the batch completes. *)
+      let on_snapshot =
+        match metrics with
+        | Some path when metrics_every > 0 ->
+          Some (fun snap -> Metrics.write_file snap path)
+        | _ -> None
+      in
       with_obs None metrics @@ fun () ->
       let oracle = Oracle.create ~cache_capacity:cache art in
       let pairs =
@@ -569,20 +575,125 @@ let serve_cmd =
           | Some t -> t
           | None -> art.Artifact.spanner_stretch
         in
-        let sample = if sample <= 0 then None else Some sample in
         let cert = Serve.certify ?sample oracle ~tier ~bound pairs in
         Format.printf "certificate: %a@." Serve.pp_certificate cert;
         cert.Serve.report.Monitor.verdict = Monitor.Wrong
       end
       else false
     in
+    let serve_store dir =
+      let st = Store.open_dir ~capacity ~cache_capacity:cache dir in
+      let s = Store.stats st in
+      Format.printf "store %s: %d ready, %d quarantined (LRU capacity %d)@." dir
+        s.Store.ready s.Store.quarantined capacity;
+      (* Generating the workload resolves each requested network once,
+         warming the store before the registry turns on; Fleet.run
+         reports LRU deltas over its own batch either way. *)
+      let requests = Fleet.workload ~seed ~net_skew st spec ~count:queries in
+      Format.printf "workload: %s over %d network(s) (net skew %g), %d \
+                     queries, seed %d@."
+        (Workload.describe spec) s.Store.ready net_skew queries seed;
+      with_obs None metrics @@ fun () ->
+      let outcome = Fleet.run ~domains st ~tier requests in
+      Format.printf "%a@." Fleet.pp_outcome outcome;
+      List.iter
+        (fun (n : Fleet.net_outcome) ->
+          Format.printf "  %s: %d queries, checksum %.17g@." n.Fleet.digest
+            n.Fleet.queries n.Fleet.checksum)
+        outcome.Fleet.nets;
+      (match checksum_out with
+      | None -> ()
+      | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (Fleet.checksum_lines outcome));
+        Format.printf "checksums -> %s@." path);
+      if certify then
+        List.fold_left
+          (fun failed (n : Fleet.net_outcome) ->
+            let bad =
+              match Store.oracle st n.Fleet.digest with
+              | Error why ->
+                Format.printf "certificate %s: ERROR %s@." n.Fleet.digest why;
+                true
+              | Ok oracle ->
+                let art = Oracle.artifact oracle in
+                let pairs =
+                  Array.to_list requests
+                  |> List.filter_map (fun (r : Fleet.request) ->
+                         if r.Fleet.net = n.Fleet.digest then
+                           Some (r.Fleet.u, r.Fleet.v)
+                         else None)
+                  |> Array.of_list
+                in
+                let bound =
+                  match stretch with
+                  | Some t -> t
+                  | None -> art.Artifact.spanner_stretch
+                in
+                let cert = Serve.certify ?sample oracle ~tier ~bound pairs in
+                Format.printf "certificate %s: %a@." n.Fleet.digest
+                  Serve.pp_certificate cert;
+                cert.Serve.report.Monitor.verdict = Monitor.Wrong
+            in
+            bad || failed)
+          false outcome.Fleet.nets
+      else false
+    in
+    let failed_cert =
+      match (file, store) with
+      | Some _, Some _ ->
+        Fmt.failwith "give either an ARTIFACT file or --store DIR, not both"
+      | None, None -> Fmt.failwith "give an ARTIFACT file or --store DIR"
+      | Some file, None ->
+        if domains <> 1 then
+          Fmt.failwith "--domains needs --store (one artifact serves on one domain)";
+        serve_one file
+      | None, Some dir -> serve_store dir
+    in
     if failed_cert then Stdlib.exit 3
   in
   let file_arg =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
-      & info [] ~docv:"ARTIFACT" ~doc:"Artifact file written by build-artifact.")
+      & info [] ~docv:"ARTIFACT"
+          ~doc:
+            "Artifact file written by build-artifact (or serve a whole \
+             $(b,--store) instead).")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Serve every artifact in the store at DIR (see $(b,lightnet \
+             store)) instead of a single file; requests pick networks \
+             Zipf($(b,--net-skew))-style and the batch is sharded over \
+             $(b,--domains).")
+  in
+  let net_skew_arg =
+    Arg.(
+      value & opt float 1.1
+      & info [ "net-skew" ] ~docv:"S"
+          ~doc:
+            "With --store: Zipf exponent of the over-networks distribution \
+             (0 = uniform).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "capacity" ] ~docv:"K"
+          ~doc:"With --store: how many loaded oracles the store LRU holds.")
+  in
+  let checksum_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checksum-out" ] ~docv:"FILE"
+          ~doc:
+            "With --store: write the per-network and total answered-distance \
+             checksums to FILE — byte-identical at every --domains count.")
   in
   let queries_arg =
     Arg.(value & opt int 1000 & info [ "queries" ] ~doc:"Number of queries.")
@@ -642,13 +753,119 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Load an artifact and serve a distance-query workload from it, \
-          reporting throughput, latency percentiles and (with --certify) a \
-          stretch certificate.")
+         "Serve a distance-query workload from one artifact (positional \
+          FILE) or a whole $(b,--store) of them across $(b,--domains) \
+          domains, reporting throughput, latency percentiles and (with \
+          --certify) a stretch certificate per network.")
     Term.(
-      const run $ file_arg $ queries_arg $ workload_arg $ tier_arg $ cache_arg
-      $ seed_arg $ certify_arg $ stretch_arg $ sample_arg $ metrics_arg
-      $ every_arg)
+      const run $ file_arg $ store_arg $ queries_arg $ workload_arg $ tier_arg
+      $ cache_arg $ seed_arg $ certify_arg $ stretch_arg $ sample_arg
+      $ domains_arg $ net_skew_arg $ capacity_arg $ checksum_out_arg
+      $ metrics_arg $ every_arg)
+
+(* Store maintenance. Every subcommand exits 0 on a healthy store;
+   verify (and add, on unreadable inputs) exits 1 so CI can gate on
+   store integrity the same way it gates on `lightnet metrics`. *)
+let store_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir"; "store" ] ~docv:"DIR" ~doc:"Store directory.")
+  in
+  let open_store dir = Store.open_dir dir in
+  let ls_cmd =
+    let run dir =
+      let st = open_store dir in
+      List.iter
+        (fun (e : Store.entry) ->
+          Format.printf "%s  %8d bytes  %s@." e.Store.digest e.Store.bytes
+            (match e.Store.status with
+            | Store.Ready -> "ready"
+            | Store.Quarantined why -> "QUARANTINED: " ^ why))
+        (Store.ls st);
+      let s = Store.stats st in
+      Format.printf "store %s: %d ready, %d quarantined@." dir s.Store.ready
+        s.Store.quarantined
+    in
+    Cmd.v
+      (Cmd.info "ls" ~doc:"List every artifact in the store with its status.")
+      Term.(const run $ dir_arg)
+  in
+  let add_cmd =
+    let run dir files =
+      let st = open_store dir in
+      let failed =
+        List.fold_left
+          (fun failed file ->
+            match Store.add st file with
+            | Ok (digest, `Added) ->
+              Format.printf "added %s (from %s)@." digest file;
+              failed
+            | Ok (digest, `Duplicate) ->
+              Format.printf "duplicate %s (from %s)@." digest file;
+              failed
+            | Error why ->
+              Format.printf "ERROR %s: %s@." file why;
+              true)
+          false files
+      in
+      if failed then Stdlib.exit 1
+    in
+    let files_arg =
+      Arg.(
+        non_empty & pos_all string []
+        & info [] ~docv:"FILE" ~doc:"Artifact files written by build-artifact.")
+    in
+    Cmd.v
+      (Cmd.info "add"
+         ~doc:
+           "Validate artifact files and ingest them under their canonical \
+            digest names (idempotent; exit 1 on an invalid input).")
+      Term.(const run $ dir_arg $ files_arg)
+  in
+  let verify_cmd =
+    let run dir =
+      let st = open_store dir in
+      let results = Store.verify st in
+      let failed =
+        List.fold_left
+          (fun failed (digest, r) ->
+            match r with
+            | Ok () ->
+              Format.printf "%s OK@." digest;
+              failed
+            | Error why ->
+              Format.printf "%s FAILED: %s@." digest why;
+              true)
+          false results
+      in
+      Format.printf "verified %d artifact(s)@." (List.length results);
+      if failed then Stdlib.exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-read every artifact end to end (format, checksum, digest); \
+            quarantine and exit 1 on any failure.")
+      Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let run dir =
+      let st = open_store dir in
+      let n = Store.gc st in
+      Format.printf "gc: removed %d quarantined artifact(s)@." n
+    in
+    Cmd.v
+      (Cmd.info "gc" ~doc:"Delete quarantined artifact files from the store.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Manage a digest-keyed artifact store (the $(b,serve --store) \
+          substrate): list, ingest, verify, collect.")
+    [ ls_cmd; add_cmd; verify_cmd; gc_cmd ]
 
 (* Scenario suite: load declarative .scn files, execute each through
    the engine stack and print its per-assertion table. A scenario that
@@ -875,6 +1092,7 @@ let () =
             scenario_cmd;
             build_artifact_cmd;
             serve_cmd;
+            store_cmd;
             report_cmd;
             metrics_cmd;
             gen_cmd;

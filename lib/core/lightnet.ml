@@ -25,6 +25,10 @@
       {!Rmq} — the route-oracle serving layer (persisted artifacts
       and the cached query engine, see DESIGN.md "Query serving &
       artifacts");
+    - {!Store}, {!Fleet} — the many-networks serving tier: a
+      digest-keyed artifact store with an LRU of loaded oracles,
+      and the domain-sharded fleet driver over it (see DESIGN.md
+      "Serving fleet");
     - {!Scenario}, {!Scenario_runner} — declarative chaos scenarios:
       topology + workload + fault schedule + SLO assertions in one
       value, compiled onto the stack above and judged by the
@@ -88,6 +92,8 @@ module Artifact = Ln_route.Artifact
 module Oracle = Ln_route.Oracle
 module Workload = Ln_route.Workload
 module Serve = Ln_route.Serve
+module Store = Ln_store.Store
+module Fleet = Ln_store.Fleet
 module Scenario = Ln_scenario.Scenario
 module Scenario_runner = Ln_scenario.Runner
 

@@ -91,6 +91,27 @@ let create ?(cache_capacity = 64) (artifact : Artifact.t) =
       };
   }
 
+(* Share every immutable tier (graph, H mask, SLT labels) but give the
+   clone its own empty source-cache LRU: the one mutable piece. This
+   is what lets a fleet of domains serve the cache tier from one
+   loaded artifact without locks — each domain queries its own
+   clone and the per-clone counters are summed afterwards. *)
+let clone ?cache_capacity t =
+  let capacity = Option.value cache_capacity ~default:t.lru.capacity in
+  if capacity < 1 then invalid_arg "Oracle.clone: cache capacity < 1";
+  {
+    t with
+    lru =
+      {
+        capacity;
+        table = Hashtbl.create (2 * capacity);
+        clock = 0;
+        hits = 0;
+        misses = 0;
+        evictions = 0;
+      };
+  }
+
 let artifact t = t.artifact
 let labels t = t.labels
 

@@ -33,6 +33,14 @@ type t
     SLT does not span its graph. *)
 val create : ?cache_capacity:int -> Artifact.t -> t
 
+(** [clone t] shares every immutable structure (artifact, graph, H
+    edge mask, SLT labels) with [t] but starts a fresh, empty
+    source-cache LRU with zeroed counters ([cache_capacity] defaults
+    to [t]'s). Tiers A/B are read-only, so a clone per domain makes
+    every tier safe to query from parallel domains.
+    @raise Invalid_argument if the capacity is < 1. *)
+val clone : ?cache_capacity:int -> t -> t
+
 val artifact : t -> Artifact.t
 val labels : t -> Labels.t
 

@@ -57,26 +57,21 @@ let latency_of_hist h =
       max_us = Metrics.Hist.max_value h;
     }
 
-(* Registry handles, registered once: per-tier latency histograms
-   (timing-based, hence unstable) and batch counters. *)
-let m_latency =
-  let h tier =
-    Metrics.histogram ~stable:false ~error:lat_error
-      ~help:"Per-query serve latency in microseconds."
-      ~labels:[ ("tier", Oracle.tier_name tier) ]
-      "lightnet_serve_latency_us"
-  in
-  let spanner = h Oracle.Spanner and label = h Oracle.Label and cache = h Oracle.Cache in
-  function Oracle.Spanner -> spanner | Oracle.Label -> label | Oracle.Cache -> cache
+(* Registry handles, labelled per (artifact digest, tier) so that a
+   process serving many networks never silently aggregates their
+   latency or batch counts into one series. Registration is
+   idempotent and keyed on the label set, so requesting the handle
+   once per batch is one mutex acquisition, not a new metric. *)
+let latency_metric ~digest tier =
+  Metrics.histogram ~stable:false ~error:lat_error
+    ~help:"Per-query serve latency in microseconds."
+    ~labels:[ ("digest", digest); ("tier", Oracle.tier_name tier) ]
+    "lightnet_serve_latency_us"
 
-let m_batches =
-  let c tier =
-    Metrics.counter ~help:"Serve batches completed."
-      ~labels:[ ("tier", Oracle.tier_name tier) ]
-      "lightnet_serve_batches_total"
-  in
-  let spanner = c Oracle.Spanner and label = c Oracle.Label and cache = c Oracle.Cache in
-  function Oracle.Spanner -> spanner | Oracle.Label -> label | Oracle.Cache -> cache
+let batches_metric ~digest tier =
+  Metrics.counter ~help:"Serve batches completed."
+    ~labels:[ ("digest", digest); ("tier", Oracle.tier_name tier) ]
+    "lightnet_serve_batches_total"
 
 let run ?(snapshot_every = 0) ?on_snapshot oracle ~tier pairs =
   let count = Array.length pairs in
@@ -85,7 +80,8 @@ let run ?(snapshot_every = 0) ?on_snapshot oracle ~tier pairs =
   let hist =
     if exact then None else Some (Metrics.Hist.create ~error:lat_error ())
   in
-  let mh = m_latency tier in
+  let digest = Artifact.digest_hex (Oracle.artifact oracle) in
+  let mh = latency_metric ~digest tier in
   let before = Oracle.cache_stats oracle in
   let checksum = ref 0.0 in
   let t0 = Unix.gettimeofday () in
@@ -106,7 +102,7 @@ let run ?(snapshot_every = 0) ?on_snapshot oracle ~tier pairs =
       | Some f -> f (Metrics.snapshot ())
       | None -> ()
   done;
-  if Metrics.on () then Metrics.incr (m_batches tier);
+  if Metrics.on () then Metrics.incr (batches_metric ~digest tier);
   let wall_s = Unix.gettimeofday () -. t0 in
   let after = Oracle.cache_stats oracle in
   {

@@ -12,7 +12,9 @@
     fall back to the exact sorted-array computation so tiny-batch
     percentiles keep their exact meaning. Each query latency is also
     observed into the process-wide [lightnet_serve_latency_us]
-    registry histogram when metrics are enabled, and [run]'s
+    registry histogram — labelled with the artifact digest and tier,
+    so multi-network processes keep one series per network — when
+    metrics are enabled, and [run]'s
     [snapshot_every]/[on_snapshot] hook surfaces periodic registry
     snapshots from inside the loop — the serving tier's live scrape
     point.
@@ -49,6 +51,18 @@ val run :
 
 val exact_threshold : int
 (** Batches of at most this many queries report exact percentiles. *)
+
+val lat_error : float
+(** Relative-error bound of the streaming latency histograms (1%). *)
+
+val latency_metric : digest:string -> Oracle.tier -> Ln_obs.Metrics.histogram
+(** The per-(artifact digest, tier) [lightnet_serve_latency_us]
+    registry handle. Registration is idempotent; exposed so external
+    drivers (the fleet) observe into the same series {!run} uses. *)
+
+val batches_metric : digest:string -> Oracle.tier -> Ln_obs.Metrics.counter
+(** The per-(artifact digest, tier) [lightnet_serve_batches_total]
+    registry handle. *)
 
 val latency_of_samples : float array -> latency
 (** Exact percentiles of a sample array (rank [ceil (p * n)], the

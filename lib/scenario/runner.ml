@@ -15,6 +15,8 @@ module Artifact = Ln_route.Artifact
 module Oracle = Ln_route.Oracle
 module Workload = Ln_route.Workload
 module Serve = Ln_route.Serve
+module Store = Ln_store.Store
+module Fleet = Ln_store.Fleet
 module Metrics = Ln_obs.Metrics
 
 type step_result = {
@@ -121,14 +123,22 @@ let validate (s : Scenario.t) g =
         if root < 0 || root >= n then
           fail "%s: root %d out of range (n=%d)" where root n
       | Scenario.Mst -> ()
-      | Scenario.Serve { tier; workload; queries; cache; _ } ->
+      | Scenario.Serve { tier; workload; queries; cache; store; capacity; domains; _ }
+        ->
         if Oracle.tier_of_string tier = None then
           fail "%s: unknown tier %S (spanner|label|cache)" where tier;
         if Workload.parse workload = None then
           fail "%s: unknown workload %S (uniform|zipf[:S]|local[:R])" where
             workload;
         if queries < 1 then fail "%s: queries must be >= 1" where;
-        if cache < 1 then fail "%s: cache must be >= 1" where)
+        if cache < 1 then fail "%s: cache must be >= 1" where;
+        (match store with
+        | None -> ()
+        | Some dir ->
+          if not (Sys.file_exists dir && Sys.is_directory dir) then
+            fail "%s: store %S is not a directory" where dir;
+          if capacity < 1 then fail "%s: capacity must be >= 1" where;
+          if domains < 1 then fail "%s: domains must be >= 1" where))
     s.steps
 
 (* The serving steps of a generated-topology scenario get a small
@@ -224,7 +234,8 @@ let run_step (s : Scenario.t) g plan art idx step =
         hit_rate = None;
         max_stretch = None;
       })
-  | Scenario.Serve { tier; workload; queries; cache; stretch } ->
+  | Scenario.Serve
+      { tier; workload; queries; cache; stretch; store = None; _ } ->
     let a = Lazy.force art in
     let tier = Option.get (Oracle.tier_of_string tier) in
     let spec = Option.get (Workload.parse workload) in
@@ -246,6 +257,82 @@ let run_step (s : Scenario.t) g plan art idx step =
         | Oracle.Cache -> Some (Serve.hit_rate outcome)
         | _ -> None);
       max_stretch = Some cert.Serve.max_stretch;
+    }
+  | Scenario.Serve
+      {
+        tier;
+        workload;
+        queries;
+        cache;
+        stretch;
+        store = Some dir;
+        capacity;
+        domains;
+        net_skew;
+      } ->
+    (* The fleet form ignores the topology's artifact: the store is
+       the workload. min-hit-rate reads the store's oracle-LRU hit
+       rate (whole networks moving in and out of memory), and the
+       certificate is the worst over every served network. *)
+    let tier = Option.get (Oracle.tier_of_string tier) in
+    let spec = Option.get (Workload.parse workload) in
+    let st = Store.open_dir ~capacity ~cache_capacity:cache dir in
+    let requests = Fleet.workload ~seed:s.seed ~net_skew st spec ~count:queries in
+    let outcome = Fleet.run ~domains st ~tier requests in
+    let rank = function
+      | Monitor.Correct -> 0
+      | Monitor.Degraded -> 1
+      | Monitor.Wrong -> 2
+    in
+    let worse a b = if rank b.Monitor.verdict > rank a.Monitor.verdict then b else a in
+    let report, max_stretch =
+      List.fold_left
+        (fun (rep, ms) (n : Fleet.net_outcome) ->
+          match Store.oracle st n.Fleet.digest with
+          | Error why ->
+            ( worse rep
+                { Monitor.verdict = Monitor.Wrong;
+                  detail = n.Fleet.digest ^ ": " ^ why },
+              ms )
+          | Ok oracle ->
+            let a = Oracle.artifact oracle in
+            let pairs =
+              Array.to_list requests
+              |> List.filter_map (fun (r : Fleet.request) ->
+                     if r.Fleet.net = n.Fleet.digest then Some (r.Fleet.u, r.Fleet.v)
+                     else None)
+              |> Array.of_list
+            in
+            let bound = Option.value stretch ~default:a.Artifact.spanner_stretch in
+            let cert = Serve.certify ~sample:64 oracle ~tier ~bound pairs in
+            (worse rep cert.Serve.report, Float.max ms cert.Serve.max_stretch))
+        ( {
+            Monitor.verdict = Monitor.Correct;
+            detail =
+              Printf.sprintf "%d network(s) certified" outcome.Fleet.networks;
+          },
+          1.0 )
+        outcome.Fleet.nets
+    in
+    let report =
+      if outcome.Fleet.skipped > 0 && report.Monitor.verdict = Monitor.Correct
+      then
+        {
+          Monitor.verdict = Monitor.Degraded;
+          detail =
+            Printf.sprintf "%d request(s) skipped (quarantined networks)"
+              outcome.Fleet.skipped;
+        }
+      else report
+    in
+    {
+      label;
+      report;
+      outcome = Engine.Converged;
+      delivered = None;
+      p99_us = Some outcome.Fleet.latency.Serve.p99_us;
+      hit_rate = Some (Fleet.store_hit_rate outcome);
+      max_stretch = Some max_stretch;
     }
 
 (* ------------------------------------------------------------------ *)

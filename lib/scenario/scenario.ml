@@ -18,6 +18,10 @@ type step =
       queries : int;
       cache : int;
       stretch : float option;
+      store : string option;
+      capacity : int;
+      domains : int;
+      net_skew : float;
     }
 
 type fault_spec =
@@ -206,9 +210,23 @@ let parse_step = function
     | "serve" ->
       let f =
         fields_of ~what:"run serve"
-          ~allowed:[ "tier"; "workload"; "queries"; "cache"; "stretch" ]
+          ~allowed:
+            [
+              "tier"; "workload"; "queries"; "cache"; "stretch"; "store";
+              "capacity"; "domains"; "net-skew";
+            ]
           args
       in
+      let store = value f "store" in
+      (* The fleet knobs only mean something against a store of many
+         networks; on the single-artifact form they would silently do
+         nothing, which this grammar never allows. *)
+      if store = None then
+        List.iter
+          (fun k ->
+            if List.mem_assoc k f then
+              bad "run serve argument %S needs the store form (store=DIR)" k)
+          [ "capacity"; "domains"; "net-skew" ];
       Serve
         {
           tier = Option.value (value f "tier") ~default:"cache";
@@ -216,6 +234,10 @@ let parse_step = function
           queries = int_def f "queries" 1000;
           cache = int_def f "cache" 64;
           stretch = float_opt f "stretch";
+          store;
+          capacity = int_def f "capacity" 4;
+          domains = int_def f "domains" 1;
+          net_skew = float_def f "net-skew" 1.1;
         }
     | k -> bad "unknown step %S (bfs|broadcast|mst|serve)" k)
 
@@ -374,9 +396,18 @@ let step_text = function
     Printf.sprintf "run broadcast root=%d value=%d%s" root value
       (if reliable then Printf.sprintf " reliable retries=%d" retries else "")
   | Mst -> "run mst"
-  | Serve { tier; workload; queries; cache; stretch } ->
-    Printf.sprintf "run serve tier=%s workload=%s queries=%d cache=%d%s" tier
-      workload queries cache
+  | Serve { tier; workload; queries; cache; stretch; store; capacity; domains; net_skew }
+    ->
+    Printf.sprintf "run serve%s tier=%s workload=%s queries=%d cache=%d%s%s"
+      (match store with
+      | None -> ""
+      | Some d -> Printf.sprintf " store=%s" d)
+      tier workload queries cache
+      (match store with
+      | None -> ""
+      | Some _ ->
+        Printf.sprintf " capacity=%d domains=%d net-skew=%g" capacity domains
+          net_skew)
       (match stretch with
       | None -> ""
       | Some s -> Printf.sprintf " stretch=%g" s)

@@ -48,6 +48,14 @@ type step =
       cache : int;
       stretch : float option;
           (** certification bound; [None] = the artifact's promise *)
+      store : string option;
+          (** [Some dir]: the fleet form — serve every artifact in the
+              store at [dir] through {!Ln_store.Fleet} instead of the
+              topology's single artifact. The [min-hit-rate] SLO then
+              reads the store's oracle-LRU hit rate. *)
+      capacity : int;  (** store form: loaded-oracle LRU capacity *)
+      domains : int;  (** store form: fleet domain count *)
+      net_skew : float;  (** store form: Zipf over networks, 0 = uniform *)
     }
 
 type fault_spec =

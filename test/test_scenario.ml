@@ -34,7 +34,8 @@ let test_parse_defaults () =
   | [ Scenario.Bfs { root = 0; reliable = false; retries = 32 };
       Scenario.Serve
         { tier = "cache"; workload = "zipf"; queries = 1000; cache = 64;
-          stretch = None } ] ->
+          stretch = None; store = None; capacity = 4; domains = 1;
+          net_skew = 1.1 } ] ->
     ()
   | _ -> Alcotest.fail "step defaults");
   Alcotest.(check bool) "slo" true
